@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+full industrial-scale evaluation is far beyond a pure-Python laptop run, the
+workload sizes are scaled; set the environment variable ``REPRO_BENCH_SCALE``
+(default ``0.3``) to scale the number of routed nets in the global-routing
+benchmarks, e.g. ``REPRO_BENCH_SCALE=1.0`` for the full synthetic suite.
+
+Formatted result tables are written to ``benchmarks/results/`` so they can be
+inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale() -> float:
+    """Net-count scale factor for the global routing benchmarks."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+    except ValueError:
+        return 0.3
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a formatted table under benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def instance_graph():
+    """Graph used by the instance-level comparisons (Tables I/II)."""
+    from repro.grid.graph import build_grid_graph
+
+    return build_grid_graph(14, 14, 6)

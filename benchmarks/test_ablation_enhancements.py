@@ -1,0 +1,63 @@
+"""Ablation of the practical enhancements (paper Section III).
+
+Runs the cost-distance solver with each enhancement disabled in turn on a
+common set of instances, reporting the average objective and the number of
+Dijkstra labels (a proxy for running time) relative to the full configuration.
+"""
+
+import random
+
+import pytest
+
+from repro.core.cost_distance import CostDistanceConfig, CostDistanceSolver
+from repro.core.objective import evaluate_tree
+from repro.instances.generator import generate_steiner_instances
+from repro.timing.delay import LinearDelayModel
+
+from benchmarks.conftest import write_result
+
+CONFIGS = {
+    "full": CostDistanceConfig(),
+    "no-component-discount (III-A off)": CostDistanceConfig(discount_components=False),
+    "no-two-level-heap (III-B off)": CostDistanceConfig(use_two_level_heap=False),
+    "no-future-costs (III-C off)": CostDistanceConfig(use_future_costs=False),
+    "no-improved-placement (III-D off)": CostDistanceConfig(improved_steiner_placement=False),
+    "no-root-encouragement (III-E off)": CostDistanceConfig(encourage_root_connections=False),
+    "plain (Section II only)": CostDistanceConfig.plain(),
+}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_of_practical_enhancements(benchmark, instance_graph):
+    dbif = LinearDelayModel(instance_graph.stack).bifurcation_penalty()
+    instances = generate_steiner_instances(
+        instance_graph, num_instances=12, dbif=dbif, seed=404,
+        size_distribution=((6, 14, 0.5), (15, 29, 0.3), (30, 45, 0.2)),
+    )
+
+    def run():
+        summary = {}
+        for name, config in CONFIGS.items():
+            total = 0.0
+            labels = 0
+            for index, instance in enumerate(instances):
+                solver = CostDistanceSolver(config)
+                details = solver.solve_with_details(instance, random.Random(index))
+                total += evaluate_tree(instance, details.tree).total
+                labels += details.num_labels
+            summary[name] = (total / len(instances), labels)
+        return summary
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_obj, base_labels = summary["full"]
+    lines = ["Ablation of Section III enhancements (12 instances, dbif > 0)"]
+    lines.append(f"{'configuration':>38} {'avg objective':>14} {'labels':>10}")
+    for name, (objective, labels) in summary.items():
+        lines.append(f"{name:>38} {objective:14.2f} {labels:10d}")
+    write_result("ablation_enhancements", "\n".join(lines))
+    for name, (objective, labels) in summary.items():
+        benchmark.extra_info[name] = round(objective, 2)
+    # The full configuration should not be worse than the plain algorithm on
+    # average, and future costs should not increase the label count.
+    assert base_obj <= summary["plain (Section II only)"][0] * 1.1
+    assert base_labels <= summary["no-future-costs (III-C off)"][1]

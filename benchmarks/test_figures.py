@@ -1,0 +1,68 @@
+"""Paper Figures 1-3: bifurcation comparison, branch-split trade-off, and the
+iteration-by-iteration algorithm trace."""
+
+import pytest
+
+from repro.analysis.figures import (
+    figure1_bifurcation_comparison,
+    figure2_split_tradeoff,
+    figure3_algorithm_trace,
+)
+from repro.grid.graph import build_grid_graph
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_bifurcation_comparison(benchmark):
+    graph = build_grid_graph(16, 16, 6)
+
+    def run():
+        return figure1_bifurcation_comparison(graph, num_sinks=12, dbif=4.0, seed=7)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "Figure 1 analogue: bifurcations on the critical root-sink path\n"
+        f"  without penalties: {result.critical_bifurcations_without} bifurcations, "
+        f"critical delay {result.critical_delay_without:.2f} ps\n"
+        f"  with penalties:    {result.critical_bifurcations_with} bifurcations, "
+        f"critical delay {result.critical_delay_with:.2f} ps\n"
+        f"  objective without/with: {result.objective_without:.2f} / {result.objective_with:.2f}"
+    )
+    write_result("figure1_bifurcations", text)
+    benchmark.extra_info["bifurcations_without"] = result.critical_bifurcations_without
+    benchmark.extra_info["bifurcations_with"] = result.critical_bifurcations_with
+    # Shape: penalties do not add bifurcations on the critical path (a small
+    # tolerance absorbs the randomised tie-breaking of the construction).
+    assert result.critical_bifurcations_with <= result.critical_bifurcations_without + 1
+    assert result.critical_delay_with <= result.critical_delay_without * 2.0
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_split_tradeoff(benchmark):
+    def run():
+        return figure2_split_tradeoff(weight_heavy=2.0, weight_light=0.5, eta=0.25)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Figure 2 analogue: weighted penalty vs. split of dbif"]
+    for lam, value in result.split_samples:
+        lines.append(f"  lambda_heavy = {lam:.2f}: weighted penalty {value:.3f} ps")
+    lines.append(f"  even split:    {result.even_split_penalty:.3f} ps")
+    lines.append(
+        f"  optimal split: lambda_heavy = {result.optimal_lambda_heavy:.2f}, "
+        f"penalty {result.optimal_penalty:.3f} ps"
+    )
+    write_result("figure2_split_tradeoff", "\n".join(lines))
+    assert result.optimal_penalty <= result.even_split_penalty
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_algorithm_trace(benchmark):
+    def run():
+        return figure3_algorithm_trace(num_sinks=5, seed=3)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("figure3_algorithm_trace", "Figure 3 analogue:\n" + result.ascii_art)
+    benchmark.extra_info["iterations"] = len(result.merges)
+    assert 1 <= len(result.merges) <= 5
+    assert result.merges[-1].is_root_merge

@@ -1,0 +1,34 @@
+"""Paper Table I: average cost increase vs. the best of {L1, SL, PD, CD},
+on identical cost-distance Steiner instances with ``dbif = 0``."""
+
+import pytest
+
+from repro.analysis.experiments import run_instance_comparison
+from repro.analysis.tables import format_instance_comparison
+from repro.instances.generator import generate_steiner_instances
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_instance_comparison(benchmark, instance_graph):
+    instances = generate_steiner_instances(
+        instance_graph, num_instances=28, dbif=0.0, seed=101
+    )
+
+    def run():
+        return run_instance_comparison(instances, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_instance_comparison(
+        rows, title="Table I analogue: average cost increase vs best, dbif = 0"
+    )
+    write_result("table1_instance_comparison", text)
+    all_row = rows[-1]
+    for method, value in all_row.average_increase.items():
+        benchmark.extra_info[f"avg_increase_{method}"] = round(value, 3)
+    # Reproduced shape: CD is competitive overall (within 1.5 percentage
+    # points of the best method's average increase).
+    cd = all_row.average_increase["CD"]
+    best = min(all_row.average_increase.values())
+    assert cd <= best + 1.5

@@ -1,0 +1,37 @@
+"""Paper Table II: average cost increase vs. the best of {L1, SL, PD, CD}
+with bifurcation penalties enabled (``dbif > 0``)."""
+
+import pytest
+
+from repro.analysis.experiments import run_instance_comparison
+from repro.analysis.tables import format_instance_comparison
+from repro.instances.generator import generate_steiner_instances
+from repro.timing.delay import LinearDelayModel
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_instance_comparison_with_penalties(benchmark, instance_graph):
+    dbif = LinearDelayModel(instance_graph.stack).bifurcation_penalty()
+    instances = generate_steiner_instances(
+        instance_graph, num_instances=28, dbif=dbif, seed=202
+    )
+
+    def run():
+        return run_instance_comparison(instances, seed=0)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_instance_comparison(
+        rows,
+        title=f"Table II analogue: average cost increase vs best, dbif = {dbif:.2f} ps",
+    )
+    write_result("table2_instance_comparison_bif", text)
+    all_row = rows[-1]
+    for method, value in all_row.average_increase.items():
+        benchmark.extra_info[f"avg_increase_{method}"] = round(value, 3)
+    # Paper shape (Table II): with penalties the cost-distance algorithm
+    # dominates the baselines overall.
+    cd = all_row.average_increase["CD"]
+    others = [all_row.average_increase[m] for m in ("L1", "SL", "PD")]
+    assert cd <= min(others) + 1.0

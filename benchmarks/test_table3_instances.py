@@ -1,0 +1,25 @@
+"""Paper Table III: instance parameters of the (synthetic) chip suite."""
+
+import pytest
+
+from repro.analysis.tables import format_chip_table
+from repro.instances.chips import CHIP_SUITE, build_chip, chip_table
+
+from benchmarks.conftest import write_result
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_instance_parameters(benchmark):
+    def run():
+        rows = chip_table()
+        # Building the smallest and largest chips exercises generation.
+        build_chip(CHIP_SUITE[0])
+        build_chip(CHIP_SUITE[-1])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_chip_table(rows)
+    write_result("table3_instance_parameters", text)
+    assert len(rows) == 8
+    layers = [row["layers"] for row in rows]
+    assert min(layers) == 7 and max(layers) == 15

@@ -1,0 +1,53 @@
+"""Paper Table IV: timing-constrained global routing results with dbif = 0.
+
+Routes every chip of the synthetic suite with each Steiner oracle and reports
+WS, TNS, ACE4, wire length, via count and walltime.  The chip sizes are
+scaled by ``REPRO_BENCH_SCALE`` (default 0.3) to keep the pure-Python run in
+the minutes range.
+"""
+
+import pytest
+
+from repro.analysis.experiments import default_oracles, run_global_routing
+from repro.analysis.tables import format_routing_results
+from repro.instances.chips import CHIP_SUITE
+from repro.router.router import GlobalRouterConfig
+
+from benchmarks.conftest import bench_scale, write_result
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_global_routing_dbif_zero(benchmark):
+    scale = bench_scale()
+    chips = [spec.scaled(scale) for spec in CHIP_SUITE]
+    config = GlobalRouterConfig(num_rounds=2, dbif=0.0)
+
+    def run():
+        return run_global_routing(chips, default_oracles(), config)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_routing_results(
+        results,
+        title=f"Table IV analogue: global routing, dbif = 0 (net scale {scale})",
+    )
+    write_result("table4_global_routing", text)
+
+    methods = ("L1", "SL", "PD", "CD")
+    per_method = {m: [r for r in results if r.method == m] for m in methods}
+    for method, rows in per_method.items():
+        benchmark.extra_info[f"{method}_vias"] = sum(r.via_count for r in rows)
+        benchmark.extra_info[f"{method}_wl"] = round(sum(r.wire_length for r in rows), 1)
+        benchmark.extra_info[f"{method}_tns"] = round(
+            sum(r.total_negative_slack for r in rows), 1
+        )
+    # Reproduced shape: the cost-distance trees use the fewest vias and the
+    # cost-distance runs are not slower than the baselines overall.
+    cd_vias = benchmark.extra_info["CD_vias"]
+    assert cd_vias <= min(
+        benchmark.extra_info[f"{m}_vias"] for m in ("L1", "SL", "PD")
+    )
+    cd_time = sum(r.walltime_seconds for r in per_method["CD"])
+    other_time = min(
+        sum(r.walltime_seconds for r in per_method[m]) for m in ("L1", "SL", "PD")
+    )
+    assert cd_time <= other_time * 1.5

@@ -1,0 +1,44 @@
+"""Paper Table V: timing-constrained global routing with bifurcation
+penalties (``dbif`` derived from the repeater-chain model)."""
+
+import pytest
+
+from repro.analysis.experiments import default_oracles, run_global_routing
+from repro.analysis.tables import format_routing_results
+from repro.instances.chips import CHIP_SUITE
+from repro.router.router import GlobalRouterConfig
+
+from benchmarks.conftest import bench_scale, write_result
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_global_routing_with_penalties(benchmark):
+    scale = bench_scale()
+    chips = [spec.scaled(scale) for spec in CHIP_SUITE]
+    # dbif=None derives the penalty from the repeater-chain model per chip.
+    config = GlobalRouterConfig(num_rounds=2, dbif=None)
+
+    def run():
+        return run_global_routing(chips, default_oracles(), config)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_routing_results(
+        results,
+        title=f"Table V analogue: global routing, dbif > 0 (net scale {scale})",
+    )
+    write_result("table5_global_routing_bif", text)
+
+    methods = ("L1", "SL", "PD", "CD")
+    per_method = {m: [r for r in results if r.method == m] for m in methods}
+    for method, rows in per_method.items():
+        benchmark.extra_info[f"{method}_vias"] = sum(r.via_count for r in rows)
+        benchmark.extra_info[f"{method}_ws"] = round(min(r.worst_slack for r in rows), 1)
+        benchmark.extra_info[f"{method}_tns"] = round(
+            sum(r.total_negative_slack for r in rows), 1
+        )
+    # Reproduced shape: with penalties enabled the cost-distance trees keep
+    # the lowest via count among the four methods.
+    cd_vias = benchmark.extra_info["CD_vias"]
+    assert cd_vias <= min(
+        benchmark.extra_info[f"{m}_vias"] for m in ("L1", "SL", "PD")
+    )

@@ -1,0 +1,38 @@
+"""Trace the cost-distance algorithm iteration by iteration (paper Figure 3).
+
+Shows, for a small 5-sink net, which components merge in each iteration of
+Algorithm 1, where the new Steiner vertex is placed, and when the root
+connection happens.
+
+Run with::
+
+    python examples/algorithm_trace.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.figures import figure2_split_tradeoff, figure3_algorithm_trace
+
+
+def main() -> None:
+    trace = figure3_algorithm_trace(num_sinks=5, seed=3)
+    print("Course of the cost-distance algorithm (Figure 3 analogue)")
+    print(trace.ascii_art)
+    print()
+    print(f"sink-sink merges: {trace.num_sink_merges}, root merges: {trace.num_root_merges}")
+    print()
+
+    split = figure2_split_tradeoff(weight_heavy=2.0, weight_light=0.5)
+    print("Bifurcation penalty split trade-off (Figure 2 analogue)")
+    print(f"dbif = {split.dbif:.3f} ps")
+    for lam, value in split.split_samples:
+        print(f"  lambda_heavy = {lam:.2f} -> weighted penalty {value:.3f}")
+    print(f"optimal lambda_heavy = {split.optimal_lambda_heavy:.2f} "
+          f"(penalty {split.optimal_penalty:.3f} vs even split {split.even_split_penalty:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: build a routing graph, solve one cost-distance Steiner tree.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (
+    BifurcationModel,
+    CostDistanceSolver,
+    SteinerInstance,
+    build_grid_graph,
+    evaluate_tree,
+)
+
+
+def main() -> None:
+    # A 16x16 global routing grid with 8 metal layers (5nm-class RC scaling).
+    graph = build_grid_graph(16, 16, num_layers=8)
+    print(f"routing graph: {graph}")
+
+    # One net: a root (driver) and four sinks with delay weights.  Weights
+    # come from the timing criticality of each sink (Lagrangean multipliers
+    # in the full router); here sink 0 is the critical one.
+    root = graph.node_index(2, 2, 0)
+    sinks = [
+        graph.node_index(13, 3, 0),
+        graph.node_index(5, 12, 0),
+        graph.node_index(11, 11, 0),
+        graph.node_index(3, 7, 0),
+    ]
+    weights = [2.0, 0.2, 0.4, 0.1]
+
+    # The bifurcation penalty dbif is derived from the repeater-chain model.
+    dbif = graph.delay_model.bifurcation_penalty()
+    instance = SteinerInstance(
+        graph,
+        root,
+        sinks,
+        weights,
+        cost=graph.base_cost_array(),
+        delay=graph.delay_array(),
+        bifurcation=BifurcationModel(dbif=dbif, eta=0.25),
+        name="quickstart-net",
+    )
+
+    solver = CostDistanceSolver()
+    tree = solver.build(instance, random.Random(0))
+    tree.validate()
+
+    result = evaluate_tree(instance, tree)
+    print(f"objective          : {result.total:.2f}")
+    print(f"  connection cost  : {result.connection_cost:.2f}")
+    print(f"  weighted delay   : {result.weighted_delay_cost:.2f}")
+    print(f"wire length        : {result.wire_length:.1f} tiles")
+    print(f"vias               : {result.via_count}")
+    print(f"bifurcations       : {result.num_bifurcations}")
+    for i, delay in enumerate(result.sink_delays):
+        print(f"  sink {i}: delay {delay:.2f} ps (weight {weights[i]})")
+
+
+if __name__ == "__main__":
+    main()

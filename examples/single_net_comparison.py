@@ -1,0 +1,39 @@
+"""Compare all four Steiner tree methods on identical instances.
+
+This reproduces the apples-to-apples experiment behind paper Tables I/II on a
+small set of generated cost-distance instances: every method is evaluated
+with the same objective and compared against the best of the four.
+
+Run with::
+
+    python examples/single_net_comparison.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import build_grid_graph, generate_steiner_instances
+from repro.analysis.experiments import run_instance_comparison
+from repro.analysis.tables import format_instance_comparison
+from repro.timing.delay import LinearDelayModel
+
+
+def main() -> None:
+    graph = build_grid_graph(14, 14, num_layers=6)
+    dbif = LinearDelayModel(graph.stack).bifurcation_penalty()
+
+    for label, penalty in (("dbif = 0", 0.0), (f"dbif = {dbif:.2f} ps", dbif)):
+        instances = generate_steiner_instances(
+            graph, num_instances=16, dbif=penalty, seed=7
+        )
+        rows = run_instance_comparison(instances)
+        print(format_instance_comparison(
+            rows, title=f"Average cost increase vs best of four ({label})"
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Experiment harness and table/figure reproduction helpers.
+
+* :mod:`repro.analysis.experiments` -- runs the instance-level comparison of
+  paper Tables I/II and the global routing comparison of Tables IV/V.
+* :mod:`repro.analysis.tables` -- formats the results as text tables in the
+  paper's layout.
+* :mod:`repro.analysis.figures` -- reproduces the data behind Figures 1-3
+  (bifurcation comparison, branch-split trade-off, algorithm trace).
+"""
+
+from repro.analysis.experiments import (
+    InstanceComparisonRow,
+    default_oracles,
+    run_instance_comparison,
+    run_global_routing,
+)
+from repro.analysis.tables import (
+    format_instance_comparison,
+    format_routing_results,
+    format_chip_table,
+)
+from repro.analysis.figures import (
+    figure1_bifurcation_comparison,
+    figure2_split_tradeoff,
+    figure3_algorithm_trace,
+)
+
+__all__ = [
+    "InstanceComparisonRow",
+    "default_oracles",
+    "run_instance_comparison",
+    "run_global_routing",
+    "format_instance_comparison",
+    "format_routing_results",
+    "format_chip_table",
+    "figure1_bifurcation_comparison",
+    "figure2_split_tradeoff",
+    "figure3_algorithm_trace",
+]

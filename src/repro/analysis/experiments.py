@@ -1,0 +1,151 @@
+"""Experiment drivers for the paper's evaluation.
+
+Two experiments cover all five result tables:
+
+* :func:`run_instance_comparison` -- paper Tables I and II: on a set of
+  identical cost-distance Steiner instances, run every algorithm, measure the
+  relative objective increase against the best of the four, and average per
+  sink-count bucket.
+* :func:`run_global_routing` -- paper Tables IV and V: run the full
+  timing-constrained global routing flow on every chip of the suite with each
+  Steiner oracle and collect WS / TNS / ACE4 / wire length / vias / walltime.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.prim_dijkstra import PrimDijkstraOracle
+from repro.baselines.rsmt import RectilinearSteinerOracle
+from repro.baselines.shallow_light import ShallowLightOracle
+from repro.core.cost_distance import CostDistanceSolver
+from repro.core.instance import SteinerInstance
+from repro.core.objective import evaluate_tree
+from repro.core.oracle import SteinerOracle
+from repro.instances.chips import ChipSpec, build_chip
+from repro.router.metrics import RoutingResult
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+__all__ = [
+    "SINK_BUCKETS",
+    "InstanceComparisonRow",
+    "default_oracles",
+    "bucket_of",
+    "run_instance_comparison",
+    "run_global_routing",
+]
+
+#: The sink-count buckets of paper Tables I/II.
+SINK_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("3-5", 3, 5),
+    ("6-14", 6, 14),
+    ("15-29", 15, 29),
+    (">=30", 30, 10**9),
+)
+
+
+def default_oracles() -> List[SteinerOracle]:
+    """The four algorithms compared in the paper: L1, SL, PD and CD."""
+    return [
+        RectilinearSteinerOracle(),
+        ShallowLightOracle(),
+        PrimDijkstraOracle(),
+        CostDistanceSolver(),
+    ]
+
+
+def bucket_of(num_sinks: int) -> Optional[str]:
+    """Name of the Tables I/II bucket for a sink count (None if below 3)."""
+    for name, lo, hi in SINK_BUCKETS:
+        if lo <= num_sinks <= hi:
+            return name
+    return None
+
+
+@dataclass
+class InstanceComparisonRow:
+    """One row of the instance comparison (one sink-count bucket)."""
+
+    bucket: str
+    num_instances: int
+    #: method name -> average relative objective increase over the best of
+    #: the four methods, in percent (the paper's "average cost increase
+    #: compared to minimum").
+    average_increase: Dict[str, float] = field(default_factory=dict)
+
+
+def run_instance_comparison(
+    instances: Sequence[SteinerInstance],
+    oracles: Optional[Sequence[SteinerOracle]] = None,
+    seed: int = 0,
+) -> List[InstanceComparisonRow]:
+    """Run every oracle on every instance and aggregate per sink bucket.
+
+    Mirrors paper Tables I/II: for each instance the objective (1) of every
+    method is compared against the best of the four, and the relative
+    increases are averaged per bucket.  A final ``"all"`` row aggregates over
+    every instance.
+    """
+    oracles = list(oracles) if oracles is not None else default_oracles()
+    per_bucket: Dict[str, List[Dict[str, float]]] = {name: [] for name, _, _ in SINK_BUCKETS}
+    per_bucket["all"] = []
+
+    for index, instance in enumerate(instances):
+        bucket = bucket_of(instance.num_sinks)
+        objectives: Dict[str, float] = {}
+        for oracle in oracles:
+            rng = random.Random((seed, index, oracle.name).__hash__())
+            tree = oracle.build(instance, rng)
+            breakdown = evaluate_tree(instance, tree)
+            objectives[oracle.name] = breakdown.total
+        best = min(objectives.values())
+        if best <= 0:
+            increases = {name: 0.0 for name in objectives}
+        else:
+            increases = {
+                name: 100.0 * (value - best) / best for name, value in objectives.items()
+            }
+        if bucket is not None:
+            per_bucket[bucket].append(increases)
+        per_bucket["all"].append(increases)
+
+    rows: List[InstanceComparisonRow] = []
+    order = [name for name, _, _ in SINK_BUCKETS] + ["all"]
+    for bucket in order:
+        entries = per_bucket[bucket]
+        averages: Dict[str, float] = {}
+        if entries:
+            for oracle in oracles:
+                averages[oracle.name] = sum(e[oracle.name] for e in entries) / len(entries)
+        rows.append(
+            InstanceComparisonRow(
+                bucket=bucket,
+                num_instances=len(entries),
+                average_increase=averages,
+            )
+        )
+    return rows
+
+
+def run_global_routing(
+    chips: Sequence[ChipSpec],
+    oracles: Optional[Sequence[SteinerOracle]] = None,
+    router_config: Optional[GlobalRouterConfig] = None,
+) -> List[RoutingResult]:
+    """Route every chip with every oracle (paper Tables IV/V).
+
+    Returns one :class:`RoutingResult` per (chip, method) pair, in chip-major
+    order.  The caller controls ``dbif`` through ``router_config`` (``0.0``
+    for Table IV, ``None``/positive for Table V).
+    """
+    oracles = list(oracles) if oracles is not None else default_oracles()
+    router_config = router_config or GlobalRouterConfig()
+    results: List[RoutingResult] = []
+    for spec in chips:
+        graph, netlist = build_chip(spec)
+        for oracle in oracles:
+            router = GlobalRouter(graph, netlist, oracle, router_config)
+            results.append(router.run())
+    return results

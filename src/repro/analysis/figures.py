@@ -1,0 +1,228 @@
+"""Reproduction of the paper's figures.
+
+The figures are illustrative rather than quantitative, so each helper returns
+the *data* behind the figure (and a small ASCII rendering where useful):
+
+* **Figure 1** -- two trees for the same net, one built without and one with
+  bifurcation penalties; the penalised tree has fewer bifurcations on the
+  paths from the root to the critical sinks.
+* **Figure 2** -- the delay trade-off at a branching: how the bifurcation
+  penalty may be shifted between the two branches (the ``eta`` model), shown
+  on the repeater-chain delay model.
+* **Figure 3** -- the course of the cost-distance algorithm on a small net:
+  per-iteration active terminals, the merged pair and the inserted Steiner
+  vertex.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.cost_distance import CostDistanceConfig, CostDistanceSolver, MergeRecord
+from repro.core.instance import SteinerInstance
+from repro.core.objective import evaluate_tree
+from repro.grid.graph import RoutingGraph, build_grid_graph
+from repro.timing.repeater import RepeaterChainModel
+
+__all__ = [
+    "Figure1Result",
+    "Figure2Result",
+    "Figure3Result",
+    "figure1_bifurcation_comparison",
+    "figure2_split_tradeoff",
+    "figure3_algorithm_trace",
+]
+
+
+# --------------------------------------------------------------------------
+# Figure 1
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Result:
+    """Comparison of trees built with and without bifurcation penalties."""
+
+    critical_bifurcations_without: int
+    critical_bifurcations_with: int
+    critical_delay_without: float
+    critical_delay_with: float
+    objective_without: float
+    objective_with: float
+
+
+def _critical_path_bifurcations(instance: SteinerInstance, tree) -> Tuple[int, float]:
+    """Number of branchings and delay on the path to the heaviest sink."""
+    arb = tree.arborescence()
+    critical_index = max(range(instance.num_sinks), key=lambda i: instance.weights[i])
+    critical_sink = instance.sinks[critical_index]
+    breakdown = evaluate_tree(instance, tree)
+    children = arb.children
+    count = 0
+    node = critical_sink
+    while node != arb.root:
+        parent = arb.parent_node[node]
+        if len(children.get(parent, [])) >= 2:
+            count += len(children[parent]) - 1
+        node = parent
+    return count, breakdown.sink_delays[critical_index]
+
+
+def figure1_bifurcation_comparison(
+    graph: Optional[RoutingGraph] = None,
+    num_sinks: int = 12,
+    dbif: float = 4.0,
+    seed: int = 7,
+) -> Figure1Result:
+    """Build the same net with and without bifurcation penalties (Figure 1).
+
+    With penalties enabled the algorithm avoids branchings on the path from
+    the root to the critical (heavily weighted) sinks.
+    """
+    graph = graph or build_grid_graph(16, 16, 6)
+    rng = random.Random(seed)
+    root = graph.node_index(rng.randrange(graph.nx), rng.randrange(graph.ny), 0)
+    sinks = [
+        graph.node_index(rng.randrange(graph.nx), rng.randrange(graph.ny), 0)
+        for _ in range(num_sinks)
+    ]
+    weights = [rng.uniform(0.02, 0.1) for _ in sinks]
+    # Make one sink clearly critical, like the red sinks of Figure 1.
+    weights[0] = 2.0
+
+    def build(with_penalty: bool):
+        bifurcation = BifurcationModel(dbif=dbif if with_penalty else 0.0, eta=0.25)
+        instance = SteinerInstance(
+            graph, root, sinks, weights, graph.base_cost_array(), graph.delay_array(),
+            bifurcation,
+        )
+        solver = CostDistanceSolver()
+        tree = solver.build(instance, random.Random(seed))
+        return instance, tree
+
+    inst_without, tree_without = build(False)
+    inst_with, tree_with = build(True)
+    bif_without, delay_without = _critical_path_bifurcations(inst_without, tree_without)
+    bif_with, delay_with = _critical_path_bifurcations(inst_with, tree_with)
+    return Figure1Result(
+        critical_bifurcations_without=bif_without,
+        critical_bifurcations_with=bif_with,
+        critical_delay_without=delay_without,
+        critical_delay_with=delay_with,
+        objective_without=evaluate_tree(inst_without, tree_without).total,
+        objective_with=evaluate_tree(inst_with, tree_with).total,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 2
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Figure2Result:
+    """Delay split options at a branching (Figure 2)."""
+
+    dbif: float
+    #: (lambda_x, weighted_penalty) samples over the allowed split range.
+    split_samples: List[Tuple[float, float]]
+    optimal_lambda_heavy: float
+    even_split_penalty: float
+    optimal_penalty: float
+
+
+def figure2_split_tradeoff(
+    weight_heavy: float = 2.0,
+    weight_light: float = 0.5,
+    dbif: Optional[float] = None,
+    eta: float = 0.25,
+    num_samples: int = 11,
+) -> Figure2Result:
+    """Evaluate the weighted penalty for different branch splits (Figure 2).
+
+    The figure illustrates that buffering can shift the extra delay of a
+    branching between the two branches; for the weighted objective the best
+    split pushes the minimum share ``eta`` onto the heavier branch.
+    """
+    if dbif is None:
+        chain = RepeaterChainModel()
+        from repro.grid.layers import default_layer_stack
+
+        dbif = chain.bifurcation_penalty(default_layer_stack(8))
+    model = BifurcationModel(dbif=dbif, eta=eta)
+    samples: List[Tuple[float, float]] = []
+    for i in range(num_samples):
+        lam_heavy = eta + (1.0 - 2.0 * eta) * i / (num_samples - 1)
+        lam_light = 1.0 - lam_heavy
+        weighted = weight_heavy * lam_heavy * dbif + weight_light * lam_light * dbif
+        samples.append((lam_heavy, weighted))
+    lam_h, lam_l = model.split(weight_heavy, weight_light)
+    optimal = weight_heavy * lam_h * dbif + weight_light * lam_l * dbif
+    even = 0.5 * dbif * (weight_heavy + weight_light)
+    return Figure2Result(
+        dbif=dbif,
+        split_samples=samples,
+        optimal_lambda_heavy=lam_h,
+        even_split_penalty=even,
+        optimal_penalty=optimal,
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 3
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Result:
+    """Iteration-by-iteration trace of the algorithm (Figure 3)."""
+
+    merges: List[MergeRecord]
+    num_root_merges: int
+    num_sink_merges: int
+    ascii_art: str
+
+
+def figure3_algorithm_trace(
+    graph: Optional[RoutingGraph] = None,
+    num_sinks: int = 5,
+    seed: int = 3,
+    dbif: float = 0.0,
+) -> Figure3Result:
+    """Trace the algorithm on a small net, as visualised in Figure 3."""
+    graph = graph or build_grid_graph(12, 12, 4)
+    rng = random.Random(seed)
+    root = graph.node_index(1, graph.ny // 2, 0)
+    sinks = [
+        graph.node_index(rng.randrange(graph.nx), rng.randrange(graph.ny), 0)
+        for _ in range(num_sinks)
+    ]
+    weights = [rng.choice([0.2, 0.5, 1.0, 2.0]) for _ in sinks]
+    instance = SteinerInstance(
+        graph, root, sinks, weights, graph.base_cost_array(), graph.delay_array(),
+        BifurcationModel(dbif=dbif, eta=0.25),
+    )
+    solver = CostDistanceSolver(CostDistanceConfig(record_trace=True))
+    result = solver.solve_with_details(instance, random.Random(seed))
+
+    lines = []
+    for record in result.merges:
+        kind = "root merge" if record.is_root_merge else "sink merge"
+        src = graph.node_point(record.source_node)
+        dst = graph.node_point(record.target_node)
+        lines.append(
+            f"iteration {record.iteration}: {kind} {src} (w={record.source_weight:.2f}) "
+            f"-> {dst}, {len(record.path_edges)} edges, "
+            f"{record.active_after} active terminals remain"
+        )
+    return Figure3Result(
+        merges=result.merges,
+        num_root_merges=sum(1 for m in result.merges if m.is_root_merge),
+        num_sink_merges=sum(1 for m in result.merges if not m.is_root_merge),
+        ascii_art="\n".join(lines),
+    )

@@ -1,0 +1,91 @@
+"""Text formatting of the reproduced tables.
+
+The formatters print the same rows the paper reports so the benchmark output
+can be compared side by side with Tables I-V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.experiments import InstanceComparisonRow
+from repro.router.metrics import RoutingResult
+
+__all__ = [
+    "format_instance_comparison",
+    "format_routing_results",
+    "format_chip_table",
+]
+
+
+def format_instance_comparison(
+    rows: Sequence[InstanceComparisonRow],
+    methods: Sequence[str] = ("L1", "SL", "PD", "CD"),
+    title: str = "Average cost increase compared to minimum",
+) -> str:
+    """Format Tables I/II: average objective increase per sink bucket."""
+    lines = [title]
+    header = f"{'|S|':>6} {'#instances':>11} " + " ".join(f"{m:>8}" for m in methods)
+    lines.append(header)
+    for row in rows:
+        cells = []
+        for method in methods:
+            value = row.average_increase.get(method)
+            cells.append(f"{value:7.2f}%" if value is not None else f"{'-':>8}")
+        lines.append(f"{row.bucket:>6} {row.num_instances:>11} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_routing_results(
+    results: Sequence[RoutingResult],
+    title: str = "Timing-constrained global routing results",
+) -> str:
+    """Format Tables IV/V: per chip and method WS/TNS/ACE4/WL/vias/walltime.
+
+    A summary block (sum of WS/TNS/WL/vias, mean ACE4, total walltime per
+    method, like the paper's ``all`` rows) is appended.
+    """
+    lines = [title]
+    header = (
+        f"{'Chip':>5} {'Run':>3} {'WS[ps]':>10} {'TNS[ps]':>13} {'ACE4[%]':>8} "
+        f"{'WL':>10} {'Vias':>9} {'Walltime[s]':>12}"
+    )
+    lines.append(header)
+    for result in results:
+        lines.append(
+            f"{result.chip:>5} {result.method:>3} {result.worst_slack:10.1f} "
+            f"{result.total_negative_slack:13.1f} {result.ace4:8.2f} "
+            f"{result.wire_length:10.1f} {result.via_count:9d} "
+            f"{result.walltime_seconds:12.2f}"
+        )
+
+    methods: List[str] = []
+    for result in results:
+        if result.method not in methods:
+            methods.append(result.method)
+    lines.append("-" * len(header))
+    for method in methods:
+        rows = [r for r in results if r.method == method]
+        if not rows:
+            continue
+        lines.append(
+            f"{'all':>5} {method:>3} {sum(r.worst_slack for r in rows):10.1f} "
+            f"{sum(r.total_negative_slack for r in rows):13.1f} "
+            f"{sum(r.ace4 for r in rows) / len(rows):8.2f} "
+            f"{sum(r.wire_length for r in rows):10.1f} "
+            f"{sum(r.via_count for r in rows):9d} "
+            f"{sum(r.walltime_seconds for r in rows):12.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_chip_table(rows: Iterable[Dict[str, object]]) -> str:
+    """Format Table III: the chip suite parameters."""
+    lines = ["Instance parameters (synthetic 5nm-class suite)"]
+    lines.append(f"{'Chip':>5} {'#nets':>7} {'#layers':>8} {'grid':>9}")
+    for row in rows:
+        lines.append(
+            f"{str(row['chip']):>5} {int(row['nets']):>7} {int(row['layers']):>8} "
+            f"{str(row['grid']):>9}"
+        )
+    return "\n".join(lines)

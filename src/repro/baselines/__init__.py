@@ -1,0 +1,37 @@
+"""Baseline Steiner tree constructions.
+
+The paper compares its cost-distance algorithm against three established
+topology-first methods.  Each of them builds a Steiner *topology* in the
+plane (considering wire length / path length, not congestion) and then embeds
+that topology optimally into the 3D global routing graph with a Dijkstra-style
+dynamic program minimising the cost-distance objective:
+
+* :class:`repro.baselines.rsmt.RectilinearSteinerOracle` (``L1``) -- an
+  L1-shortest rectilinear Steiner tree heuristic.
+* :class:`repro.baselines.shallow_light.ShallowLightOracle` (``SL``) -- a
+  shallow-light tree in the spirit of Held & Rotter / SALT: a short tree whose
+  root-sink path lengths are within ``1 + epsilon`` of their lower bounds.
+* :class:`repro.baselines.prim_dijkstra.PrimDijkstraOracle` (``PD``) -- the
+  Prim-Dijkstra trade-off tree of Alpert et al. with bifurcation-penalty
+  aware attachment.
+
+The embedding itself lives in :mod:`repro.baselines.embedding` and is shared
+by all three.
+"""
+
+from repro.baselines.topology import PlaneTopology
+from repro.baselines.rsmt import RectilinearSteinerOracle, rectilinear_steiner_topology
+from repro.baselines.shallow_light import ShallowLightOracle, shallow_light_topology
+from repro.baselines.prim_dijkstra import PrimDijkstraOracle, prim_dijkstra_topology
+from repro.baselines.embedding import TopologyEmbedder
+
+__all__ = [
+    "PlaneTopology",
+    "RectilinearSteinerOracle",
+    "rectilinear_steiner_topology",
+    "ShallowLightOracle",
+    "shallow_light_topology",
+    "PrimDijkstraOracle",
+    "prim_dijkstra_topology",
+    "TopologyEmbedder",
+]

@@ -1,0 +1,252 @@
+"""Optimal embedding of a planar topology into the 3D routing graph.
+
+The topology-first baselines build a tree in the plane and then embed it into
+the global routing graph "optimally ... minimizing the cost-distance
+objective (1) using a Dijkstra-style embedding" (paper Section IV-A,
+following Held et al., TCAD 2018).  This module implements that embedding as
+a bottom-up dynamic program:
+
+* For every topology node ``v`` a *label* gives, for every graph node ``x``,
+  the minimum cost of embedding the subtree of ``v`` with ``v`` placed at
+  ``x``.
+* Propagating a child label through the graph uses a multi-source Dijkstra
+  with edge lengths ``c(e) + W_child * d(e)`` where ``W_child`` is the total
+  delay weight of the sinks below that child -- exactly the price the
+  objective charges for the embedding of that topology edge.
+* A top-down pass recovers the optimal placement of every topology node and
+  the connecting paths.
+
+The embedding is optimal for the given topology up to the bifurcation
+penalty constants (which do not depend on the embedding) and the routing
+window (searches are confined to the net's bounding box plus a configurable
+margin, as is standard in global routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.topology import PlaneTopology
+from repro.core.instance import SteinerInstance
+from repro.core.objective import prune_dangling_branches
+from repro.core.shortest_path import dijkstra
+from repro.core.tree import EmbeddedTree
+
+__all__ = ["TopologyEmbedder"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[int, int] = {}
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        while self.parent.get(x, x) != x:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[ra] = rb
+        return True
+
+
+@dataclass
+class TopologyEmbedder:
+    """Embeds :class:`PlaneTopology` objects into the routing graph.
+
+    Parameters
+    ----------
+    window_margin:
+        Number of tiles the routing window extends beyond the bounding box
+        of the net's terminals in each direction.
+    """
+
+    window_margin: int = 4
+
+    # ------------------------------------------------------------------ API
+    def embed(
+        self,
+        instance: SteinerInstance,
+        topology: PlaneTopology,
+        method: str = "EMB",
+    ) -> EmbeddedTree:
+        """Embed ``topology`` into ``instance``'s graph, minimising objective (1)."""
+        graph = instance.graph
+        cost = instance.cost
+        delay = instance.delay
+
+        node_filter = self._window_filter(instance)
+
+        # Which instance sinks are realised at which topology node.
+        sinks_at: Dict[int, List[int]] = {}
+        for sink_index, topo_node in enumerate(topology.sink_nodes):
+            sinks_at.setdefault(topo_node, []).append(sink_index)
+
+        # Only topology nodes lying on some sink-to-root path matter for the
+        # embedding; dangling Steiner branches (which some topology
+        # constructions leave behind) are ignored.
+        relevant: Set[int] = {topology.root}
+        for topo_node in topology.sink_nodes:
+            node: Optional[int] = topo_node
+            while node is not None and node not in relevant:
+                relevant.add(node)
+                node = topology.parents[node]
+
+        # Total sink delay weight of every topology subtree.
+        all_children = topology.children()
+        children = {
+            node: [c for c in kids if c in relevant] for node, kids in all_children.items()
+        }
+        order = [node for node in topology.depth_order() if node in relevant]
+        subtree_weight: Dict[int, float] = {}
+        for node in reversed(order):
+            weight = sum(instance.weights[i] for i in sinks_at.get(node, []))
+            for child in children[node]:
+                weight += subtree_weight[child]
+            subtree_weight[node] = weight
+
+        # Bottom-up labels.  For each non-root topology node we keep the
+        # propagated label (the Dijkstra result of pushing the node's own
+        # label one topology edge up) for the top-down recovery.
+        labels: Dict[int, Dict[int, float]] = {}
+        propagated: Dict[int, Tuple[Dict[int, float], Dict[int, int]]] = {}
+
+        for node in reversed(order):
+            label = self._own_label(instance, sinks_at.get(node, []))
+            for child in children[node]:
+                prop_dist, _ = propagated[child]
+                label = self._combine(label, prop_dist)
+                if not label:
+                    raise RuntimeError(
+                        "topology embedding failed: child label unreachable inside "
+                        "the routing window; increase window_margin"
+                    )
+            labels[node] = label
+            if node != topology.root:
+                lengths = (cost + subtree_weight[node] * delay).tolist()
+                dist, parent_edge = dijkstra(
+                    graph,
+                    lengths,
+                    dict(label),
+                    node_filter=node_filter,
+                )
+                propagated[node] = (dist, parent_edge)
+
+        root_label = labels[topology.root]
+        if instance.root not in root_label:
+            raise RuntimeError(
+                "topology embedding failed: root position unreachable; "
+                "increase window_margin"
+            )
+
+        # Top-down recovery of placements and connecting paths.
+        edges: List[int] = []
+        uf = _UnionFind()
+        placement: Dict[int, int] = {topology.root: instance.root}
+        stack: List[int] = [topology.root]
+        while stack:
+            node = stack.pop()
+            at = placement[node]
+            for child in children[node]:
+                dist, parent_edge = propagated[child]
+                child_label = labels[child]
+                path, source = self._backtrack(graph, parent_edge, child_label, at)
+                for edge in path:
+                    u = int(graph.edge_u[edge])
+                    v = int(graph.edge_v[edge])
+                    if uf.union(u, v):
+                        edges.append(edge)
+                placement[child] = source
+                stack.append(child)
+
+        tree = EmbeddedTree(
+            graph,
+            instance.root,
+            tuple(instance.sinks),
+            tuple(edges),
+            method,
+        )
+        return prune_dangling_branches(tree)
+
+    # ------------------------------------------------------------ internals
+    def _window_filter(self, instance: SteinerInstance):
+        graph = instance.graph
+        xs: List[int] = []
+        ys: List[int] = []
+        for node in instance.terminal_nodes():
+            x, y = graph.node_planar(node)
+            xs.append(x)
+            ys.append(y)
+        margin = self.window_margin
+        xmin = max(0, min(xs) - margin)
+        xmax = min(graph.nx - 1, max(xs) + margin)
+        ymin = max(0, min(ys) - margin)
+        ymax = min(graph.ny - 1, max(ys) + margin)
+
+        def allowed(node: int) -> bool:
+            x, y = graph.node_planar(node)
+            return xmin <= x <= xmax and ymin <= y <= ymax
+
+        return allowed
+
+    @staticmethod
+    def _own_label(instance: SteinerInstance, sink_indices: List[int]) -> Dict[int, float]:
+        """Initial label of a topology node before children are merged in.
+
+        A node realising one or more sinks is pinned to the sink's graph
+        node; any other node may initially be placed anywhere (cost 0 -- the
+        placement cost comes entirely from the propagated child labels and
+        the edge towards the parent).
+        """
+        if not sink_indices:
+            return {}
+        nodes = {instance.sinks[i] for i in sink_indices}
+        if len(nodes) != 1:
+            raise ValueError(
+                "sinks mapped to one topology node must share a graph node"
+            )
+        return {next(iter(nodes)): 0.0}
+
+    @staticmethod
+    def _combine(label: Dict[int, float], prop: Dict[int, float]) -> Dict[int, float]:
+        """Pointwise sum of a label and a propagated child label."""
+        if not label:
+            return dict(prop)
+        result: Dict[int, float] = {}
+        for node, value in label.items():
+            other = prop.get(node)
+            if other is not None:
+                result[node] = value + other
+        return result
+
+    @staticmethod
+    def _backtrack(
+        graph, parent_edge: Dict[int, int], sources: Dict[int, float], target: int
+    ) -> Tuple[List[int], int]:
+        """Walk Dijkstra parents from ``target`` back to the path's origin.
+
+        The origin is the node where the multi-source search started (no
+        parent edge); its initial label value identifies the child placement.
+        """
+        path: List[int] = []
+        node = target
+        visited: Set[int] = {node}
+        while True:
+            edge = parent_edge.get(node)
+            if edge is None:
+                break
+            path.append(edge)
+            node = graph.other_endpoint(edge, node)
+            if node in visited:
+                raise RuntimeError("cycle while backtracking an embedding path")
+            visited.add(node)
+        if node not in sources:
+            raise RuntimeError("embedding backtrack did not reach a source label")
+        path.reverse()
+        return path, node

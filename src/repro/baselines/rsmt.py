@@ -1,0 +1,160 @@
+"""L1-shortest rectilinear Steiner trees (the ``L1`` baseline).
+
+The first comparison routine of the paper "just computes a short L1 Steiner
+tree and embeds it optimally into the global routing graph".  This module
+provides a classical greedy rectilinear Steiner tree heuristic: terminals are
+attached one by one (closest first) to the nearest point of the existing
+tree, inserting Steiner nodes where the attachment hits the interior of an
+edge.  For nets with up to three sinks the result is additionally compared
+against the best single Hanan-grid Steiner point, which is optimal for those
+sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines.embedding import TopologyEmbedder
+from repro.baselines.topology import PlaneTopology, closest_point_on_edge
+from repro.core.instance import SteinerInstance
+from repro.core.oracle import SteinerOracle
+from repro.core.tree import EmbeddedTree
+from repro.grid.geometry import PlanarPoint, planar_l1
+
+__all__ = ["rectilinear_steiner_topology", "RectilinearSteinerOracle"]
+
+
+def _attach_candidates(
+    topology: PlaneTopology, point: PlanarPoint
+) -> Tuple[int, PlanarPoint, Tuple[str, int]]:
+    """Best attachment of ``point`` to the current topology.
+
+    Returns ``(distance, attach_point, where)`` with ``where`` either
+    ``("node", index)`` for attachment at an existing node or
+    ``("edge", child_index)`` for attachment on the edge between
+    ``child_index`` and its parent.
+    """
+    best_dist: Optional[int] = None
+    best_attach: PlanarPoint = topology.positions[0]
+    best_where: Tuple[str, int] = ("node", 0)
+    for node, pos in enumerate(topology.positions):
+        dist = planar_l1(point, pos)
+        if best_dist is None or dist < best_dist:
+            best_dist = dist
+            best_attach = pos
+            best_where = ("node", node)
+    for node, parent in enumerate(topology.parents):
+        if parent is None:
+            continue
+        attach, dist = closest_point_on_edge(
+            point, topology.positions[node], topology.positions[parent]
+        )
+        if dist < best_dist:
+            best_dist = dist
+            best_attach = attach
+            best_where = ("edge", node)
+    return int(best_dist or 0), best_attach, best_where
+
+
+def _attach_point_to_topology(topology: PlaneTopology, point: PlanarPoint) -> int:
+    """Attach ``point`` to the topology, returning its topology node index."""
+    point = (int(point[0]), int(point[1]))
+    _, attach, (kind, index) = _attach_candidates(topology, point)
+    if kind == "node":
+        steiner = index
+    else:
+        child = index
+        parent_of_child = topology.parents[child]
+        assert parent_of_child is not None
+        if attach == topology.positions[child]:
+            steiner = child
+        elif attach == topology.positions[parent_of_child]:
+            steiner = parent_of_child
+        else:
+            steiner = topology.add_node(attach, parent_of_child)
+            topology.reattach(child, steiner)
+    if topology.positions[steiner] == point:
+        return steiner
+    return topology.add_node(point, steiner)
+
+
+def _single_steiner_point_topology(
+    root: PlanarPoint, sinks: Sequence[PlanarPoint]
+) -> Tuple[int, PlaneTopology]:
+    """Best star topology through a single Hanan-grid Steiner point."""
+    xs = sorted({root[0], *[s[0] for s in sinks]})
+    ys = sorted({root[1], *[s[1] for s in sinks]})
+    best_length = None
+    best_point = root
+    for x in xs:
+        for y in ys:
+            candidate = (x, y)
+            length = planar_l1(root, candidate) + sum(planar_l1(s, candidate) for s in sinks)
+            if best_length is None or length < best_length:
+                best_length = length
+                best_point = candidate
+    topology = PlaneTopology([tuple(root)], [None], [])
+    if best_point == tuple(root):
+        hub = 0
+    else:
+        hub = topology.add_node(best_point, 0)
+    sink_nodes = []
+    for s in sinks:
+        if tuple(s) == topology.positions[hub]:
+            sink_nodes.append(hub)
+        else:
+            sink_nodes.append(topology.add_node(tuple(s), hub))
+    topology.sink_nodes = sink_nodes
+    return int(best_length or 0), topology
+
+
+def rectilinear_steiner_topology(
+    root: PlanarPoint, sinks: Sequence[PlanarPoint]
+) -> PlaneTopology:
+    """Build a short rectilinear Steiner topology over ``root`` and ``sinks``.
+
+    Greedy nearest-terminal insertion with edge splitting; for very small
+    nets the best single-Steiner-point star is used when it is shorter.
+    """
+    root = (int(root[0]), int(root[1]))
+    sinks = [(int(s[0]), int(s[1])) for s in sinks]
+    topology = PlaneTopology([root], [None], [])
+    remaining = list(range(len(sinks)))
+    sink_nodes: List[Optional[int]] = [None] * len(sinks)
+    while remaining:
+        # Pick the unconnected sink closest to the current tree.
+        best = None
+        for idx in remaining:
+            dist, _, _ = _attach_candidates(topology, sinks[idx])
+            if best is None or dist < best[0]:
+                best = (dist, idx)
+        assert best is not None
+        _, idx = best
+        sink_nodes[idx] = _attach_point_to_topology(topology, sinks[idx])
+        remaining.remove(idx)
+    topology.sink_nodes = [n for n in sink_nodes if n is not None]
+
+    if 1 <= len(sinks) <= 3:
+        star_length, star = _single_steiner_point_topology(root, sinks)
+        if star_length < topology.total_length():
+            return star
+    return topology
+
+
+class RectilinearSteinerOracle(SteinerOracle):
+    """The ``L1`` baseline: short rectilinear topology + optimal embedding."""
+
+    name = "L1"
+
+    def __init__(self, embedder: Optional[TopologyEmbedder] = None) -> None:
+        self.embedder = embedder or TopologyEmbedder()
+
+    def build(
+        self, instance: SteinerInstance, rng: Optional[random.Random] = None
+    ) -> EmbeddedTree:
+        graph = instance.graph
+        root = graph.node_planar(instance.root)
+        sinks = [graph.node_planar(s) for s in instance.sinks]
+        topology = rectilinear_steiner_topology(root, sinks)
+        return self.embedder.embed(instance, topology, method=self.name)

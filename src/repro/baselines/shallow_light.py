@@ -1,0 +1,128 @@
+"""The shallow-light baseline (``SL``).
+
+Shallow-light Steiner trees (Khuller-Raghavachari-Young; Held & Rotter,
+IPCO'13; SALT, TCAD'19) start from an approximately minimum-length tree and
+guarantee that every root-sink path length stays within a factor
+``1 + epsilon`` of its lower bound (the direct L1 distance), re-connecting
+sinks to the root where the bound would be violated.  A reverse traversal
+then re-attaches subtrees to cheaper predecessors where this saves length
+without breaking any bound.
+
+This implementation follows that scheme on planar topologies:
+
+1. build a short tree with the greedy rectilinear heuristic,
+2. forward pass: while some sink violates ``path_length > (1 + eps) * L1``,
+   re-root the most violating sink node directly at the root,
+3. reverse pass: try to re-attach each re-rooted subtree to the closest
+   other tree node that keeps all bounds satisfied, keeping the move only
+   if it shortens the tree.
+
+Bifurcation penalties do not change the path-length bounds; they are
+(re-)distributed with the flexible ``eta`` model when the embedded tree is
+evaluated, as described in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.embedding import TopologyEmbedder
+from repro.baselines.rsmt import rectilinear_steiner_topology
+from repro.baselines.topology import PlaneTopology
+from repro.core.instance import SteinerInstance
+from repro.core.oracle import SteinerOracle
+from repro.core.tree import EmbeddedTree
+from repro.grid.geometry import PlanarPoint, planar_l1
+
+__all__ = ["shallow_light_topology", "ShallowLightOracle"]
+
+
+def _violation(topology: PlaneTopology, sink_node: int, bound: float) -> float:
+    """How much the root path of ``sink_node`` exceeds its bound (<= 0 when ok)."""
+    return topology.path_length(sink_node) - bound
+
+
+def shallow_light_topology(
+    root: PlanarPoint,
+    sinks: Sequence[PlanarPoint],
+    epsilon: float = 0.25,
+) -> PlaneTopology:
+    """Build a shallow-light topology with path-length bound ``(1 + epsilon) * L1``."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    root = (int(root[0]), int(root[1]))
+    sinks = [(int(s[0]), int(s[1])) for s in sinks]
+    topology = rectilinear_steiner_topology(root, sinks)
+
+    bounds: Dict[int, float] = {}
+    for sink_node, sink_pos in zip(topology.sink_nodes, sinks):
+        bound = (1.0 + epsilon) * planar_l1(root, sink_pos)
+        bounds[sink_node] = min(bounds.get(sink_node, float("inf")), bound)
+
+    # Forward pass: repeatedly re-root the most violating sink.
+    rerooted: List[int] = []
+    for _ in range(4 * len(sinks) + 4):
+        worst_node = None
+        worst_violation = 1e-9
+        for sink_node, bound in bounds.items():
+            violation = _violation(topology, sink_node, bound)
+            if violation > worst_violation:
+                worst_violation = violation
+                worst_node = sink_node
+        if worst_node is None:
+            break
+        topology.reattach(worst_node, topology.root)
+        rerooted.append(worst_node)
+
+    # Reverse pass: re-attach re-rooted subtrees to cheaper predecessors when
+    # this saves length and keeps every bound satisfied.
+    for node in reversed(rerooted):
+        subtree = set(topology.subtree_nodes(node))
+        current_length = planar_l1(topology.positions[node], root)
+        best_parent = topology.root
+        best_length = current_length
+        for candidate in range(topology.num_nodes):
+            if candidate in subtree:
+                continue
+            length = planar_l1(topology.positions[node], topology.positions[candidate])
+            if length >= best_length:
+                continue
+            # Path length of `node` if attached below `candidate`.
+            new_path = topology.path_length(candidate) + length
+            delta = new_path - topology.path_length(node)
+            ok = True
+            for sink_node, bound in bounds.items():
+                if sink_node in subtree and topology.path_length(sink_node) + delta > bound + 1e-9:
+                    ok = False
+                    break
+            if ok:
+                best_length = length
+                best_parent = candidate
+        if best_parent != topology.parents[node]:
+            topology.reattach(node, best_parent)
+
+    return topology
+
+
+class ShallowLightOracle(SteinerOracle):
+    """The ``SL`` baseline: shallow-light topology + optimal embedding."""
+
+    name = "SL"
+
+    def __init__(
+        self,
+        embedder: Optional[TopologyEmbedder] = None,
+        epsilon: float = 0.25,
+    ) -> None:
+        self.embedder = embedder or TopologyEmbedder()
+        self.epsilon = epsilon
+
+    def build(
+        self, instance: SteinerInstance, rng: Optional[random.Random] = None
+    ) -> EmbeddedTree:
+        graph = instance.graph
+        root = graph.node_planar(instance.root)
+        sinks = [graph.node_planar(s) for s in instance.sinks]
+        topology = shallow_light_topology(root, sinks, self.epsilon)
+        return self.embedder.embed(instance, topology, method=self.name)

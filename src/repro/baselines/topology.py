@@ -1,0 +1,168 @@
+"""Planar Steiner topologies.
+
+The topology-first baselines (L1, SL, PD) build a rooted tree over points in
+the plane before any interaction with the 3D routing graph.  A
+:class:`PlaneTopology` stores the node positions, the parent structure, and
+which topology node realises each instance sink.  Edge lengths are L1
+distances between the endpoints (every edge is thought of as an arbitrary
+monotone rectilinear staircase between its endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.grid.geometry import PlanarPoint, planar_l1
+
+__all__ = ["PlaneTopology", "closest_point_on_edge"]
+
+
+def closest_point_on_edge(
+    point: PlanarPoint, a: PlanarPoint, b: PlanarPoint
+) -> Tuple[PlanarPoint, int]:
+    """Closest point (in L1) of the rectilinear edge ``a``-``b`` to ``point``.
+
+    An edge between ``a`` and ``b`` can be embedded as any monotone staircase
+    inside the bounding box of its endpoints, so the closest approach of the
+    edge to an external point is the L1 distance to that bounding box.
+
+    Returns
+    -------
+    (attach_point, distance):
+        The clamped point inside the bounding box and its L1 distance to
+        ``point``.
+    """
+    x = min(max(point[0], min(a[0], b[0])), max(a[0], b[0]))
+    y = min(max(point[1], min(a[1], b[1])), max(a[1], b[1]))
+    attach = (x, y)
+    return attach, planar_l1(point, attach)
+
+
+@dataclass
+class PlaneTopology:
+    """A rooted Steiner topology in the plane.
+
+    Node ``0`` is always the root.  ``parents[i]`` is the parent of node
+    ``i`` (``None`` for the root).  ``sink_nodes[k]`` is the topology node
+    realising the ``k``-th instance sink.
+    """
+
+    positions: List[PlanarPoint]
+    parents: List[Optional[int]]
+    sink_nodes: List[int]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("topology needs at least the root node")
+        if len(self.parents) != len(self.positions):
+            raise ValueError("positions and parents must have the same length")
+        if self.parents[0] is not None:
+            raise ValueError("node 0 must be the root (parent None)")
+        for i, parent in enumerate(self.parents[1:], start=1):
+            if parent is None or not 0 <= parent < len(self.positions):
+                raise ValueError(f"node {i} has invalid parent {parent}")
+        for node in self.sink_nodes:
+            if not 0 <= node < len(self.positions):
+                raise ValueError(f"sink node {node} out of range")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        for start in range(self.num_nodes):
+            seen = set()
+            node: Optional[int] = start
+            while node is not None:
+                if node in seen:
+                    raise ValueError("topology parent structure contains a cycle")
+                seen.add(node)
+                node = self.parents[node]
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_nodes(self) -> int:
+        return len(self.positions)
+
+    @property
+    def root(self) -> int:
+        return 0
+
+    def children(self) -> Dict[int, List[int]]:
+        """``node -> [children]`` map."""
+        result: Dict[int, List[int]] = {i: [] for i in range(self.num_nodes)}
+        for node, parent in enumerate(self.parents):
+            if parent is not None:
+                result[parent].append(node)
+        return result
+
+    def edge_length(self, node: int) -> int:
+        """L1 length of the edge from ``node`` to its parent (0 for the root)."""
+        parent = self.parents[node]
+        if parent is None:
+            return 0
+        return planar_l1(self.positions[node], self.positions[parent])
+
+    def total_length(self) -> int:
+        """Total L1 length of the topology."""
+        return sum(self.edge_length(i) for i in range(self.num_nodes))
+
+    def path_length(self, node: int) -> int:
+        """L1 length of the root-to-``node`` path through the topology."""
+        length = 0
+        current: Optional[int] = node
+        while current is not None and self.parents[current] is not None:
+            length += self.edge_length(current)
+            current = self.parents[current]
+        return length
+
+    def depth_order(self) -> List[int]:
+        """Nodes ordered root-first (every parent before its children)."""
+        children = self.children()
+        order: List[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(children[node])
+        return order
+
+    def subtree_nodes(self, node: int) -> List[int]:
+        """Nodes of the subtree rooted at ``node`` (including itself)."""
+        children = self.children()
+        result: List[int] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(children[current])
+        return result
+
+    def validate_spans(self, sink_positions: Sequence[PlanarPoint]) -> None:
+        """Check that every instance sink is realised at its own position."""
+        if len(self.sink_nodes) != len(sink_positions):
+            raise ValueError("sink_nodes and sink_positions must align")
+        for node, position in zip(self.sink_nodes, sink_positions):
+            if self.positions[node] != tuple(position):
+                raise ValueError(
+                    f"sink node {node} at {self.positions[node]} does not match "
+                    f"pin position {tuple(position)}"
+                )
+
+    # ----------------------------------------------------------- mutation
+    def add_node(self, position: PlanarPoint, parent: int) -> int:
+        """Append a node at ``position`` attached below ``parent``; returns its index."""
+        if not 0 <= parent < self.num_nodes:
+            raise ValueError(f"parent {parent} out of range")
+        self.positions.append((int(position[0]), int(position[1])))
+        self.parents.append(parent)
+        return self.num_nodes - 1
+
+    def reattach(self, node: int, new_parent: int) -> None:
+        """Change the parent of ``node`` (must not create a cycle)."""
+        if node == self.root:
+            raise ValueError("cannot reattach the root")
+        current: Optional[int] = new_parent
+        while current is not None:
+            if current == node:
+                raise ValueError("reattaching would create a cycle")
+            current = self.parents[current]
+        self.parents[node] = new_parent

@@ -1,0 +1,36 @@
+"""Core cost-distance Steiner tree library (the paper's contribution).
+
+The central entry point is :class:`repro.core.cost_distance.CostDistanceSolver`
+which implements Algorithm 1 of the paper together with the practical
+enhancements of Section III.  Supporting modules:
+
+* :mod:`repro.core.instance` -- the :class:`SteinerInstance` problem object
+  shared by all Steiner tree algorithms (cost-distance and baselines alike).
+* :mod:`repro.core.bifurcation` -- the bifurcation delay penalty model
+  (``dbif``, ``eta``, the ``beta`` merge penalty and the ``lambda`` split).
+* :mod:`repro.core.tree` -- embedded Steiner trees and validity checks.
+* :mod:`repro.core.objective` -- evaluation of the cost-distance objective
+  (paper Eq. (1) with the delay model of Eq. (3)).
+* :mod:`repro.core.heap` -- addressable and two-level heaps used by the
+  simultaneous Dijkstra searches.
+* :mod:`repro.core.shortest_path` -- generic Dijkstra / multi-source Dijkstra
+  over the routing graph (used by the baselines' embedding and by landmarks).
+* :mod:`repro.core.future_cost` -- admissible lower bounds (landmarks + L1
+  delay bounds) for the goal-oriented searches.
+"""
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.instance import SteinerInstance
+from repro.core.tree import EmbeddedTree
+from repro.core.objective import ObjectiveBreakdown, evaluate_tree
+from repro.core.cost_distance import CostDistanceConfig, CostDistanceSolver
+
+__all__ = [
+    "BifurcationModel",
+    "SteinerInstance",
+    "EmbeddedTree",
+    "ObjectiveBreakdown",
+    "evaluate_tree",
+    "CostDistanceConfig",
+    "CostDistanceSolver",
+]

@@ -1,0 +1,138 @@
+"""Bifurcation delay penalty model.
+
+Bifurcations on a root-sink path increase capacitance and therefore delay
+after buffering.  Following the paper (Section I), every bifurcation carries
+a total delay penalty ``dbif`` that is distributed to its two branches:
+branch ``x`` receives ``lambda_x * dbif`` and branch ``y`` receives
+``(1 - lambda_x) * dbif`` with ``lambda_x`` restricted to
+``[eta, 1 - eta]`` for a parameter ``0 <= eta <= 1/2``.
+
+For the weighted-delay objective the optimal split only depends on the total
+delay weights of the two subtrees (paper Eq. (2)): the heavier subtree gets
+the smaller share ``eta``.
+
+The merge penalty
+
+    beta(w, w') = dbif * (eta * max(w, w') + (1 - eta) * min(w, w'))
+
+is the minimum possible weighted delay penalty incurred when two components
+with delay weights ``w`` and ``w'`` are joined; it appears in the pair
+selection cost ``L(u, v)`` of the algorithm (paper Eq. (5)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["BifurcationModel"]
+
+
+@dataclass(frozen=True)
+class BifurcationModel:
+    """Parameters of the bifurcation delay penalty.
+
+    Attributes
+    ----------
+    dbif:
+        Total delay penalty of one bifurcation (both branches together), in
+        the same time unit as the edge delays.  ``0`` disables penalties
+        (the setting of paper Tables I and IV).
+    eta:
+        Lower bound on the share either branch must absorb,
+        ``0 <= eta <= 1/2``.  ``eta = 0.5`` forces an even split (the model
+        of Bartoschek et al.); smaller values give buffering more freedom to
+        shield the critical branch.
+    """
+
+    dbif: float = 0.0
+    eta: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.dbif < 0:
+            raise ValueError("dbif must be non-negative")
+        if not 0.0 <= self.eta <= 0.5:
+            raise ValueError("eta must lie in [0, 0.5]")
+
+    # ----------------------------------------------------------------- api
+    @property
+    def enabled(self) -> bool:
+        """Whether bifurcation penalties are active (``dbif > 0``)."""
+        return self.dbif > 0.0
+
+    def beta(self, weight_a: float, weight_b: float) -> float:
+        """Minimum weighted delay penalty of merging two components.
+
+        ``beta(w, w') = dbif * (eta * max(w, w') + (1 - eta) * min(w, w'))``.
+        """
+        if weight_a < 0 or weight_b < 0:
+            raise ValueError("delay weights must be non-negative")
+        high = max(weight_a, weight_b)
+        low = min(weight_a, weight_b)
+        return self.dbif * (self.eta * high + (1.0 - self.eta) * low)
+
+    def split(self, weight_x: float, weight_y: float) -> Tuple[float, float]:
+        """Optimal penalty shares ``(lambda_x, lambda_y)`` for two branches.
+
+        Implements paper Eq. (2): the branch with the larger total delay
+        weight receives the smaller share ``eta``; on a tie both receive
+        ``0.5``.
+        """
+        if weight_x < 0 or weight_y < 0:
+            raise ValueError("delay weights must be non-negative")
+        if weight_x > weight_y:
+            return self.eta, 1.0 - self.eta
+        if weight_x < weight_y:
+            return 1.0 - self.eta, self.eta
+        return 0.5, 0.5
+
+    def branch_penalties(self, weights: Sequence[float]) -> List[float]:
+        """Extra delay added to each branch of a (possibly >2-way) branching.
+
+        A vertex with two outgoing branches is a single bifurcation and the
+        shares follow :meth:`split`.  A vertex with ``k > 2`` branches is not
+        bifurcation compatible; it is interpreted as ``k - 1`` stacked binary
+        bifurcations at the same position.  The stacking order is chosen
+        greedily (the two lightest groups merge first, Huffman style), which
+        keeps the weighted penalty of the heavy branches small -- the same
+        intent as Eq. (2).
+
+        Returns a list of the additional delay each branch's subtree incurs
+        at this vertex (to be added to every root-sink delay through that
+        branch).
+        """
+        weights = list(weights)
+        if any(w < 0 for w in weights):
+            raise ValueError("delay weights must be non-negative")
+        n = len(weights)
+        if n <= 1:
+            return [0.0] * n
+        if not self.enabled:
+            return [0.0] * n
+        if n == 2:
+            lx, ly = self.split(weights[0], weights[1])
+            return [lx * self.dbif, ly * self.dbif]
+
+        # Huffman-style stacking for non-binary branchings.
+        penalties = [0.0] * n
+        groups: List[Tuple[float, List[int]]] = [(w, [i]) for i, w in enumerate(weights)]
+        while len(groups) > 1:
+            groups.sort(key=lambda item: item[0])
+            (wa, members_a), (wb, members_b) = groups[0], groups[1]
+            la, lb = self.split(wa, wb)
+            for i in members_a:
+                penalties[i] += la * self.dbif
+            for i in members_b:
+                penalties[i] += lb * self.dbif
+            groups = groups[2:]
+            groups.append((wa + wb, members_a + members_b))
+        return penalties
+
+    def with_dbif(self, dbif: float) -> "BifurcationModel":
+        """A copy of this model with a different ``dbif``."""
+        return BifurcationModel(dbif=dbif, eta=self.eta)
+
+    @classmethod
+    def disabled(cls) -> "BifurcationModel":
+        """A model with no bifurcation penalties (``dbif = 0``)."""
+        return cls(dbif=0.0)

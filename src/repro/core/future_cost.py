@@ -1,0 +1,181 @@
+"""Admissible lower bounds (future costs) for goal-oriented path searches.
+
+Section III-C of the paper speeds up the path searches with A* using two
+kinds of lower bounds:
+
+* the congestion/connection cost between two vertices is lower bounded by
+  landmark-based future costs (Goldberg-Harrelson), and
+* the delay is lower bounded by the L1 distance times the per-tile delay of
+  the fastest layer / wire type combination.
+
+The :class:`FutureCostEstimator` provides both bounds.  Landmark distances
+are computed once against a *lower bound* cost vector (by default the
+uncongested base costs); they stay valid as long as the actual congestion
+cost of every edge never drops below that vector, which holds for the
+pricing schemes in this library.
+
+For the multi-target potentials used inside the cost-distance searches the
+estimator also offers a cheap bound based on the L1 distance to the target
+set (exact nearest-target distance for small target sets, bounding-box
+distance for large ones).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.shortest_path import multi_source_distances
+from repro.grid.graph import RoutingGraph
+
+__all__ = ["FutureCostEstimator"]
+
+
+class FutureCostEstimator:
+    """Lower bounds on connection cost and delay between graph nodes.
+
+    Parameters
+    ----------
+    graph:
+        The routing graph.
+    cost_lower_bound:
+        Per-edge lower bound on the connection cost used by the searches.
+        Defaults to the graph's base costs.
+    fastest_delay_per_tile:
+        Per-tile delay of the fastest layer / wire type; defaults to the
+        value from the graph's delay model.
+    num_landmarks:
+        Number of landmark nodes for the landmark (ALT) bound.  ``0``
+        disables landmarks and only the L1-based bounds are used.
+    seed:
+        Seed for the random part of landmark selection.
+    """
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        cost_lower_bound: Optional[np.ndarray] = None,
+        fastest_delay_per_tile: Optional[float] = None,
+        num_landmarks: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        if cost_lower_bound is None:
+            cost_lower_bound = graph.base_cost_array()
+        self.cost_lower_bound = np.asarray(cost_lower_bound, dtype=np.float64)
+        if fastest_delay_per_tile is None:
+            fastest_delay_per_tile = graph.delay_model.fastest_delay_per_tile()
+        self.fastest_delay_per_tile = float(fastest_delay_per_tile)
+
+        # Cheapest way to advance one tile in the plane (used for the
+        # L1-based connection-cost bound).  Vias have length 0 so they do
+        # not help covering planar distance.
+        routing = ~graph.edge_is_via
+        if np.any(routing):
+            self.min_cost_per_tile = float(np.min(self.cost_lower_bound[routing]))
+        else:
+            self.min_cost_per_tile = 0.0
+
+        self._landmark_dists: List[np.ndarray] = []
+        if num_landmarks > 0:
+            self._build_landmarks(num_landmarks, seed)
+
+    # ------------------------------------------------------------ landmarks
+    def _build_landmarks(self, num_landmarks: int, seed: int) -> None:
+        graph = self.graph
+        rng = random.Random(seed)
+        mid_layer = graph.num_layers // 2
+        corners = [
+            graph.node_index(0, 0, mid_layer),
+            graph.node_index(graph.nx - 1, 0, mid_layer),
+            graph.node_index(0, graph.ny - 1, mid_layer),
+            graph.node_index(graph.nx - 1, graph.ny - 1, mid_layer),
+        ]
+        landmarks: List[int] = []
+        for node in corners:
+            if len(landmarks) < num_landmarks and node not in landmarks:
+                landmarks.append(node)
+        while len(landmarks) < num_landmarks:
+            node = rng.randrange(graph.num_nodes)
+            if node not in landmarks:
+                landmarks.append(node)
+        lengths = self.cost_lower_bound
+        for node in landmarks:
+            self._landmark_dists.append(multi_source_distances(graph, lengths, [node]))
+
+    @property
+    def num_landmarks(self) -> int:
+        """Number of landmarks in use."""
+        return len(self._landmark_dists)
+
+    # -------------------------------------------------------------- bounds
+    def delay_lower_bound(self, node: int, target: int) -> float:
+        """Lower bound on the delay of any node-target path."""
+        ax, ay = self.graph.node_planar(node)
+        bx, by = self.graph.node_planar(target)
+        return (abs(ax - bx) + abs(ay - by)) * self.fastest_delay_per_tile
+
+    def cost_lower_bound_between(self, node: int, target: int) -> float:
+        """Lower bound on the connection cost of any node-target path."""
+        ax, ay = self.graph.node_planar(node)
+        bx, by = self.graph.node_planar(target)
+        l1 = abs(ax - bx) + abs(ay - by)
+        bound = l1 * self.min_cost_per_tile
+        for dist in self._landmark_dists:
+            da = dist[node]
+            db = dist[target]
+            if np.isfinite(da) and np.isfinite(db):
+                diff = abs(da - db)
+                if diff > bound:
+                    bound = diff
+        return float(bound)
+
+    def combined_lower_bound(self, node: int, target: int, weight: float) -> float:
+        """Lower bound on ``cost + weight * delay`` of any node-target path."""
+        return self.cost_lower_bound_between(node, target) + weight * self.delay_lower_bound(
+            node, target
+        )
+
+    # -------------------------------------------------- multi-target bounds
+    def nearest_target_l1(self, node: int, targets: Sequence[int], exact_limit: int = 8) -> float:
+        """L1 distance from ``node`` to the nearest target (or a lower bound).
+
+        For at most ``exact_limit`` targets the exact minimum is computed;
+        for larger sets the (cheaper, still admissible) distance to the
+        targets' planar bounding box is returned.
+        """
+        if not targets:
+            return 0.0
+        ax, ay = self.graph.node_planar(node)
+        if len(targets) <= exact_limit:
+            best = None
+            for t in targets:
+                bx, by = self.graph.node_planar(t)
+                d = abs(ax - bx) + abs(ay - by)
+                if best is None or d < best:
+                    best = d
+                    if best == 0:
+                        break
+            return float(best or 0)
+        xs = []
+        ys = []
+        for t in targets:
+            bx, by = self.graph.node_planar(t)
+            xs.append(bx)
+            ys.append(by)
+        dx = max(0, min(xs) - ax, ax - max(xs))
+        dy = max(0, min(ys) - ay, ay - max(ys))
+        return float(dx + dy)
+
+    def multi_target_potential(
+        self, node: int, targets: Sequence[int], weight: float, exact_limit: int = 8
+    ) -> float:
+        """Admissible potential ``h(node)`` towards a set of targets.
+
+        Lower bounds ``min_t [cost(node, t) + weight * delay(node, t)]`` by
+        the nearest-target L1 distance times the cheapest per-tile rate.
+        """
+        l1 = self.nearest_target_l1(node, targets, exact_limit)
+        return l1 * (self.min_cost_per_tile + weight * self.fastest_delay_per_tile)

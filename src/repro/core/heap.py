@@ -1,0 +1,224 @@
+"""Priority queues used by the path searches.
+
+Two structures are provided:
+
+* :class:`AddressableBinaryHeap` -- a binary min-heap with decrease-key,
+  addressing items by an integer id.  Global routing graphs have
+  ``m = O(n)`` edges, so binary heaps are the right trade-off (paper
+  Section III-B); Fibonacci heaps only matter for the asymptotic statement.
+* :class:`TwoLevelHeap` -- the two-level structure of Section III-B: one
+  sub-heap per active sink plus a top-level heap over the sub-heap minima.
+  The cost-distance solver keeps extracting from a single sub-heap while its
+  minimum stays below the best other sub-heap minimum, which avoids
+  top-level churn when one search is locally busy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+__all__ = ["AddressableBinaryHeap", "TwoLevelHeap"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class AddressableBinaryHeap(Generic[K]):
+    """Binary min-heap with decrease-key, keyed by arbitrary hashable ids."""
+
+    def __init__(self) -> None:
+        self._keys: List[float] = []
+        self._items: List[K] = []
+        self._position: Dict[K, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __contains__(self, item: K) -> bool:
+        return item in self._position
+
+    def key_of(self, item: K) -> float:
+        """Current key of ``item`` (raises ``KeyError`` if absent)."""
+        return self._keys[self._position[item]]
+
+    def peek(self) -> Tuple[float, K]:
+        """The minimum (key, item) without removing it."""
+        if not self._items:
+            raise IndexError("peek from an empty heap")
+        return self._keys[0], self._items[0]
+
+    def min_key(self) -> float:
+        """The minimum key, ``inf`` if the heap is empty."""
+        return self._keys[0] if self._items else float("inf")
+
+    def push(self, item: K, key: float) -> bool:
+        """Insert ``item`` or decrease its key.
+
+        Returns ``True`` if the item was inserted or its key decreased,
+        ``False`` if the existing key was already smaller or equal.
+        """
+        pos = self._position.get(item)
+        if pos is None:
+            self._keys.append(key)
+            self._items.append(item)
+            self._position[item] = len(self._items) - 1
+            self._sift_up(len(self._items) - 1)
+            return True
+        if key < self._keys[pos]:
+            self._keys[pos] = key
+            self._sift_up(pos)
+            return True
+        return False
+
+    def pop(self) -> Tuple[float, K]:
+        """Remove and return the minimum (key, item)."""
+        if not self._items:
+            raise IndexError("pop from an empty heap")
+        min_key = self._keys[0]
+        min_item = self._items[0]
+        last_key = self._keys.pop()
+        last_item = self._items.pop()
+        del self._position[min_item]
+        if self._items:
+            self._keys[0] = last_key
+            self._items[0] = last_item
+            self._position[last_item] = 0
+            self._sift_down(0)
+        return min_key, min_item
+
+    def remove(self, item: K) -> None:
+        """Remove ``item`` from the heap if present."""
+        pos = self._position.get(item)
+        if pos is None:
+            return
+        last_index = len(self._items) - 1
+        last_key = self._keys.pop()
+        last_item = self._items.pop()
+        del self._position[item]
+        if pos != last_index:
+            self._keys[pos] = last_key
+            self._items[pos] = last_item
+            self._position[last_item] = pos
+            self._sift_down(pos)
+            self._sift_up(pos)
+
+    # ----------------------------------------------------------- internals
+    def _sift_up(self, pos: int) -> None:
+        key = self._keys[pos]
+        item = self._items[pos]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if self._keys[parent] <= key:
+                break
+            self._keys[pos] = self._keys[parent]
+            self._items[pos] = self._items[parent]
+            self._position[self._items[pos]] = pos
+            pos = parent
+        self._keys[pos] = key
+        self._items[pos] = item
+        self._position[item] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        size = len(self._items)
+        key = self._keys[pos]
+        item = self._items[pos]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._keys[right] < self._keys[child]:
+                child = right
+            if self._keys[child] >= key:
+                break
+            self._keys[pos] = self._keys[child]
+            self._items[pos] = self._items[child]
+            self._position[self._items[pos]] = pos
+            pos = child
+        self._keys[pos] = key
+        self._items[pos] = item
+        self._position[item] = pos
+
+
+class TwoLevelHeap(Generic[K]):
+    """One sub-heap per search plus a top-level heap over sub-heap minima.
+
+    Items are addressed by ``(search_id, item)``.  The structure follows
+    Section III-B of the paper: extraction keeps working on the sub-heap of
+    the previous extraction while its minimum is still globally minimal,
+    which keeps the top-level heap small and rarely updated.
+    """
+
+    def __init__(self) -> None:
+        self._subheaps: Dict[Hashable, AddressableBinaryHeap[K]] = {}
+        self._top: AddressableBinaryHeap[Hashable] = AddressableBinaryHeap()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def add_search(self, search_id: Hashable) -> None:
+        """Register a (possibly empty) sub-heap for ``search_id``."""
+        if search_id not in self._subheaps:
+            self._subheaps[search_id] = AddressableBinaryHeap()
+
+    def remove_search(self, search_id: Hashable) -> None:
+        """Drop a search and all of its queued items."""
+        sub = self._subheaps.pop(search_id, None)
+        if sub is not None:
+            self._size -= len(sub)
+            self._top.remove(search_id)
+
+    def push(self, search_id: Hashable, item: K, key: float) -> bool:
+        """Insert or decrease-key ``item`` in the sub-heap of ``search_id``."""
+        self.add_search(search_id)
+        sub = self._subheaps[search_id]
+        had = item in sub
+        changed = sub.push(item, key)
+        if changed:
+            if not had:
+                self._size += 1
+            self._top.push(search_id, sub.min_key())
+        return changed
+
+    def pop(self) -> Tuple[float, Hashable, K]:
+        """Remove and return the globally minimal ``(key, search_id, item)``."""
+        if self._size == 0:
+            raise IndexError("pop from an empty two-level heap")
+        while True:
+            top_key, search_id = self._top.peek()
+            sub = self._subheaps.get(search_id)
+            if sub is None or not sub:
+                self._top.pop()
+                continue
+            if sub.min_key() != top_key:
+                # Stale top entry -- refresh and retry.
+                self._top.pop()
+                self._top.push(search_id, sub.min_key())
+                continue
+            key, item = sub.pop()
+            self._size -= 1
+            self._top.pop()
+            if sub:
+                self._top.push(search_id, sub.min_key())
+            return key, search_id, item
+
+    def min_key(self) -> float:
+        """The globally minimal key, ``inf`` when empty."""
+        while self._top:
+            top_key, search_id = self._top.peek()
+            sub = self._subheaps.get(search_id)
+            if sub is None or not sub:
+                self._top.pop()
+                continue
+            if sub.min_key() != top_key:
+                self._top.pop()
+                self._top.push(search_id, sub.min_key())
+                continue
+            return top_key
+        return float("inf")

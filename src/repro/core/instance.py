@@ -1,0 +1,133 @@
+"""The cost-distance Steiner tree problem instance.
+
+A :class:`SteinerInstance` bundles everything a Steiner tree oracle needs for
+one net: the routing graph, the root and sink positions (graph nodes), the
+sink delay weights, the current per-edge congestion cost vector ``c(e)``, the
+static per-edge delay vector ``d(e)``, and the bifurcation penalty model.
+
+Both the cost-distance algorithm and every baseline consume this object, so
+the apples-to-apples comparison of paper Tables I/II and the router's oracle
+calls share one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bifurcation import BifurcationModel
+from repro.grid.geometry import GridPoint
+from repro.grid.graph import RoutingGraph
+
+__all__ = ["SteinerInstance"]
+
+
+@dataclass
+class SteinerInstance:
+    """One cost-distance Steiner tree problem.
+
+    Attributes
+    ----------
+    graph:
+        The 3D global routing graph.
+    root:
+        Graph node index of the net's source (root) pin.
+    sinks:
+        Graph node indices of the sink pins, one per sink (duplicates are
+        allowed -- two sinks may share a tile).
+    weights:
+        Delay weight ``w(t)`` per sink, same order as ``sinks``.  These arise
+        from the Lagrangean relaxation of the timing constraints.
+    cost:
+        Per-edge congestion cost vector ``c(e)`` (length ``graph.num_edges``).
+    delay:
+        Per-edge delay vector ``d(e)`` (length ``graph.num_edges``).
+    bifurcation:
+        The bifurcation penalty model (``dbif``, ``eta``).
+    name:
+        Optional identifier used in reports.
+    """
+
+    graph: RoutingGraph
+    root: int
+    sinks: List[int]
+    weights: List[float]
+    cost: np.ndarray
+    delay: np.ndarray
+    bifurcation: BifurcationModel = field(default_factory=BifurcationModel.disabled)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.sinks = list(self.sinks)
+        self.weights = [float(w) for w in self.weights]
+        self.cost = np.asarray(self.cost, dtype=np.float64)
+        self.delay = np.asarray(self.delay, dtype=np.float64)
+        if len(self.sinks) != len(self.weights):
+            raise ValueError("sinks and weights must have the same length")
+        if len(self.cost) != self.graph.num_edges or len(self.delay) != self.graph.num_edges:
+            raise ValueError("cost/delay vectors must have one entry per graph edge")
+        if np.any(self.cost < 0) or np.any(self.delay < 0):
+            raise ValueError("edge costs and delays must be non-negative")
+        if any(w < 0 for w in self.weights):
+            raise ValueError("sink delay weights must be non-negative")
+        nodes = [self.root] + self.sinks
+        for node in nodes:
+            if not 0 <= node < self.graph.num_nodes:
+                raise ValueError(f"terminal node {node} outside the graph")
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_sinks(self) -> int:
+        """Number of sinks ``|S|``."""
+        return len(self.sinks)
+
+    @property
+    def num_terminals(self) -> int:
+        """Number of terminals ``t = |S| + 1`` (sinks plus root)."""
+        return len(self.sinks) + 1
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all sink delay weights."""
+        return float(sum(self.weights))
+
+    def root_point(self) -> GridPoint:
+        """The :class:`GridPoint` of the root."""
+        return self.graph.node_point(self.root)
+
+    def sink_points(self) -> List[GridPoint]:
+        """The :class:`GridPoint` of each sink, in sink order."""
+        return [self.graph.node_point(s) for s in self.sinks]
+
+    def terminal_nodes(self) -> List[int]:
+        """Root node followed by all sink nodes."""
+        return [self.root] + list(self.sinks)
+
+    # ---------------------------------------------------------- derivation
+    def with_bifurcation(self, bifurcation: BifurcationModel) -> "SteinerInstance":
+        """A copy of this instance with a different bifurcation model."""
+        return SteinerInstance(
+            graph=self.graph,
+            root=self.root,
+            sinks=list(self.sinks),
+            weights=list(self.weights),
+            cost=self.cost,
+            delay=self.delay,
+            bifurcation=bifurcation,
+            name=self.name,
+        )
+
+    def with_costs(self, cost: np.ndarray) -> "SteinerInstance":
+        """A copy of this instance with a different congestion cost vector."""
+        return SteinerInstance(
+            graph=self.graph,
+            root=self.root,
+            sinks=list(self.sinks),
+            weights=list(self.weights),
+            cost=cost,
+            delay=self.delay,
+            bifurcation=self.bifurcation,
+            name=self.name,
+        )

@@ -1,0 +1,52 @@
+"""The Steiner tree oracle interface.
+
+Timing-constrained global routing (Held et al., TCAD 2018) repeatedly asks a
+*Steiner tree oracle* for a tree of a single net under the current congestion
+prices and delay weights.  Every algorithm in this library -- the new
+cost-distance algorithm and the three baselines -- implements this interface
+so the router and the instance-level comparison of paper Tables I/II share
+one code path.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.core.instance import SteinerInstance
+from repro.core.tree import EmbeddedTree
+
+__all__ = ["SteinerOracle"]
+
+
+class SteinerOracle(abc.ABC):
+    """Abstract base class of all Steiner tree constructions."""
+
+    #: Short name used in result tables ("CD", "L1", "SL", "PD").
+    name: str = "?"
+
+    @abc.abstractmethod
+    def build(
+        self, instance: SteinerInstance, rng: Optional[random.Random] = None
+    ) -> EmbeddedTree:
+        """Build an embedded Steiner tree for ``instance``.
+
+        Parameters
+        ----------
+        instance:
+            The cost-distance Steiner tree instance (graph, terminals,
+            weights, edge costs/delays, bifurcation model).
+        rng:
+            Source of randomness for randomized constructions.  Passing the
+            same seeded generator reproduces the same tree.
+
+        Returns
+        -------
+        EmbeddedTree
+            A tree spanning the instance's root and sinks, tagged with the
+            oracle's :attr:`name`.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

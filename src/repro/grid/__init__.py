@@ -1,0 +1,35 @@
+"""3D global routing graph substrate.
+
+This package provides the global routing graph used by every Steiner tree
+algorithm in :mod:`repro`:
+
+* :mod:`repro.grid.geometry` -- grid points, L1 distances, Hanan grids.
+* :mod:`repro.grid.layers` -- metal layer stack and wire type definitions
+  with per-layer RC parameters in a 5nm-class technology.
+* :mod:`repro.grid.graph` -- the 3D grid graph with parallel edges per wire
+  type, vias between adjacent layers, and per-edge cost/delay attributes.
+* :mod:`repro.grid.congestion` -- edge capacity/usage tracking, congestion
+  pricing and the ACE / ACE4 congestion metrics.
+"""
+
+from repro.grid.geometry import GridPoint, l1_distance, bounding_box, hanan_grid
+from repro.grid.layers import Layer, WireType, LayerStack, default_layer_stack
+from repro.grid.graph import RoutingGraph, Edge, build_grid_graph
+from repro.grid.congestion import CongestionMap, ace, ace4
+
+__all__ = [
+    "GridPoint",
+    "l1_distance",
+    "bounding_box",
+    "hanan_grid",
+    "Layer",
+    "WireType",
+    "LayerStack",
+    "default_layer_stack",
+    "RoutingGraph",
+    "Edge",
+    "build_grid_graph",
+    "CongestionMap",
+    "ace",
+    "ace4",
+]

@@ -1,0 +1,158 @@
+"""Congestion tracking, pricing, and the ACE / ACE4 metrics.
+
+The router accumulates per-edge *usage* (in routing tracks) as nets are
+routed.  Congestion of an edge is ``usage / capacity``.  Two things are
+derived from it:
+
+* a congestion-dependent **edge cost** ``c(e)`` handed to the Steiner
+  oracles -- the base resource cost of the edge multiplied by a price that
+  grows with congestion (the resource-sharing router additionally keeps its
+  own multiplicative prices, see :mod:`repro.router.resource_sharing`), and
+* the **ACE** routability metric of Wei et al. (TODAES'14): ``ACE(x)`` is
+  the average congestion of the ``x``-percent most congested routing edges,
+  and ``ACE4`` is the mean of ``ACE(0.5), ACE(1), ACE(2), ACE(5)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.graph import RoutingGraph
+
+__all__ = ["CongestionMap", "ace", "ace4"]
+
+
+def ace(congestion: Sequence[float], percent: float) -> float:
+    """Average congestion of the ``percent``-% most congested edges.
+
+    Parameters
+    ----------
+    congestion:
+        Per-edge congestion values (usage / capacity), as fractions
+        (``1.0`` = 100% utilised).
+    percent:
+        Percentile size, e.g. ``0.5`` for the worst 0.5% of edges.
+
+    Returns
+    -------
+    float
+        The average congestion of the selected edges as a *percentage*
+        (the paper reports ACE4 values like ``88.07``).
+    """
+    values = np.asarray(list(congestion), dtype=float)
+    if values.size == 0:
+        return 0.0
+    if not 0 < percent <= 100:
+        raise ValueError("percent must be in (0, 100]")
+    count = max(1, int(math.ceil(values.size * percent / 100.0)))
+    worst = np.sort(values)[-count:]
+    return float(np.mean(worst) * 100.0)
+
+
+def ace4(congestion: Sequence[float]) -> float:
+    """The ACE4 metric: mean of ACE(0.5), ACE(1), ACE(2) and ACE(5)."""
+    values = list(congestion)
+    return 0.25 * (ace(values, 0.5) + ace(values, 1.0) + ace(values, 2.0) + ace(values, 5.0))
+
+
+class CongestionMap:
+    """Tracks per-edge usage and produces congestion-priced edge costs.
+
+    Parameters
+    ----------
+    graph:
+        The routing graph whose edges are tracked.
+    overflow_penalty:
+        Strength of the congestion price: the cost multiplier of an edge is
+        ``exp(overflow_penalty * max(0, congestion - threshold))`` so that
+        edges close to or above capacity become expensive.
+    threshold:
+        Congestion level (fraction of capacity) above which the price starts
+        to grow; below it edges cost their base cost.
+    """
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        overflow_penalty: float = 3.0,
+        threshold: float = 0.5,
+    ) -> None:
+        self.graph = graph
+        self.overflow_penalty = overflow_penalty
+        self.threshold = threshold
+        self.usage = np.zeros(graph.num_edges, dtype=np.float64)
+
+    # ------------------------------------------------------------- updates
+    def reset(self) -> None:
+        """Clear all usage."""
+        self.usage.fill(0.0)
+
+    def add_usage(self, edge_indices: Iterable[int], amount: Optional[float] = None) -> None:
+        """Add usage for each edge in ``edge_indices``.
+
+        ``amount`` defaults to the base resource cost of each edge (i.e. the
+        number of tracks a wire of the chosen wire type occupies).
+        """
+        base = self.graph.edge_base_cost
+        for e in edge_indices:
+            self.usage[e] += base[e] if amount is None else amount
+
+    def remove_usage(self, edge_indices: Iterable[int], amount: Optional[float] = None) -> None:
+        """Remove usage previously added with :meth:`add_usage`."""
+        base = self.graph.edge_base_cost
+        for e in edge_indices:
+            self.usage[e] -= base[e] if amount is None else amount
+            if self.usage[e] < -1e-9:
+                raise ValueError(f"usage of edge {e} became negative")
+            if self.usage[e] < 0.0:
+                self.usage[e] = 0.0
+
+    # ------------------------------------------------------------- queries
+    def congestion(self) -> np.ndarray:
+        """Per-edge congestion (usage / capacity)."""
+        return self.usage / self.graph.edge_capacity
+
+    def wire_congestion(self) -> np.ndarray:
+        """Congestion restricted to routing (non-via) edges.
+
+        The ACE metric is defined over global routing edges; vias are
+        excluded, matching common practice.
+        """
+        mask = ~self.graph.edge_is_via
+        return (self.usage[mask] / self.graph.edge_capacity[mask])
+
+    def overflow(self) -> float:
+        """Total usage exceeding capacity, summed over all edges."""
+        excess = self.usage - self.graph.edge_capacity
+        return float(np.sum(np.clip(excess, 0.0, None)))
+
+    def ace4(self) -> float:
+        """ACE4 of the current usage (percent)."""
+        return ace4(self.wire_congestion())
+
+    def ace(self, percent: float) -> float:
+        """ACE(percent) of the current usage (percent)."""
+        return ace(self.wire_congestion(), percent)
+
+    # --------------------------------------------------------------- cost
+    def edge_costs(self, prices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Congestion-priced edge cost vector ``c(e)``.
+
+        Parameters
+        ----------
+        prices:
+            Optional per-edge multiplicative prices (e.g. from the
+            resource-sharing router).  When given they multiply the
+            congestion factor.
+        """
+        congestion = self.congestion()
+        factor = np.exp(self.overflow_penalty * np.clip(congestion - self.threshold, 0.0, None))
+        costs = self.graph.edge_base_cost * factor
+        if prices is not None:
+            if prices.shape != costs.shape:
+                raise ValueError("prices array has wrong shape")
+            costs = costs * prices
+        return costs

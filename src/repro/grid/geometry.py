@@ -1,0 +1,124 @@
+"""Planar and 3D grid geometry helpers.
+
+Global routing abstracts the chip area into a coarse grid of *global routing
+tiles*.  A :class:`GridPoint` addresses one tile on one metal layer.  The
+planar (x, y) part is used by the topology-first baselines (L1 / shallow-light
+/ Prim-Dijkstra) which build a tree in the plane before it is embedded into
+the 3D graph; the full 3D point is used by the routing graph itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "GridPoint",
+    "PlanarPoint",
+    "l1_distance",
+    "planar_l1",
+    "bounding_box",
+    "bounding_box_half_perimeter",
+    "hanan_grid",
+    "median_point",
+]
+
+
+PlanarPoint = Tuple[int, int]
+
+
+@dataclass(frozen=True, order=True)
+class GridPoint:
+    """A point in the 3D global routing grid.
+
+    Attributes
+    ----------
+    x, y:
+        Tile coordinates in the plane (column / row of the global routing
+        grid).
+    layer:
+        Metal layer index, ``0`` is the lowest routable layer.
+    """
+
+    x: int
+    y: int
+    layer: int = 0
+
+    @property
+    def planar(self) -> PlanarPoint:
+        """The (x, y) projection of the point."""
+        return (self.x, self.y)
+
+    def with_layer(self, layer: int) -> "GridPoint":
+        """Return a copy of this point on ``layer``."""
+        return GridPoint(self.x, self.y, layer)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x},{self.y},m{self.layer})"
+
+
+def l1_distance(a: GridPoint, b: GridPoint) -> int:
+    """L1 (Manhattan) distance between the planar projections of two points.
+
+    The layer difference is intentionally *not* part of the distance: the
+    linear delay model charges vias separately, and the planar L1 distance is
+    the quantity used by the baselines and by the A* future cost.
+    """
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def planar_l1(a: PlanarPoint, b: PlanarPoint) -> int:
+    """L1 distance between two planar points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def bounding_box(points: Iterable[GridPoint]) -> Tuple[int, int, int, int]:
+    """Return the planar bounding box ``(xmin, ymin, xmax, ymax)``.
+
+    Raises
+    ------
+    ValueError
+        If ``points`` is empty.
+    """
+    xs: List[int] = []
+    ys: List[int] = []
+    for p in points:
+        xs.append(p.x)
+        ys.append(p.y)
+    if not xs:
+        raise ValueError("bounding_box() of an empty point set")
+    return (min(xs), min(ys), max(xs), max(ys))
+
+
+def bounding_box_half_perimeter(points: Iterable[GridPoint]) -> int:
+    """Half-perimeter wire length (HPWL) of the planar bounding box."""
+    xmin, ymin, xmax, ymax = bounding_box(points)
+    return (xmax - xmin) + (ymax - ymin)
+
+
+def hanan_grid(points: Sequence[GridPoint]) -> List[PlanarPoint]:
+    """Return the Hanan grid of the planar projections of ``points``.
+
+    The Hanan grid is the set of intersections of horizontal and vertical
+    lines through the terminals.  A rectilinear Steiner minimum tree always
+    has an optimal solution whose Steiner points lie on the Hanan grid, which
+    is why the exact small-net solver in :mod:`repro.baselines.rsmt`
+    enumerates candidate Steiner points from it.
+    """
+    xs = sorted({p.x for p in points})
+    ys = sorted({p.y for p in points})
+    return [(x, y) for x in xs for y in ys]
+
+
+def median_point(points: Sequence[GridPoint]) -> PlanarPoint:
+    """The coordinate-wise median of the planar projections of ``points``.
+
+    The median minimises the total L1 distance to the given points and is a
+    good initial position for a single Steiner point.
+    """
+    if not points:
+        raise ValueError("median_point() of an empty point set")
+    xs = sorted(p.x for p in points)
+    ys = sorted(p.y for p in points)
+    mid = len(xs) // 2
+    return (xs[mid], ys[mid])

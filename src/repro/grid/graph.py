@@ -1,0 +1,290 @@
+"""The 3D global routing graph.
+
+Nodes are global routing tiles on metal layers; edges are either *routing
+edges* between adjacent tiles on the same layer (only along the layer's
+preferred direction, one parallel edge per wire type) or *via edges* between
+the same tile on adjacent layers.
+
+Every edge carries
+
+* a static ``delay`` from the linear delay model (``d(e)`` in the paper),
+* a ``base_cost`` proportional to the routing resources it consumes
+  (tracks for wires, cut area for vias), and
+* a ``capacity`` used by congestion tracking.
+
+The congestion-dependent cost ``c(e)`` used by the Steiner algorithms is a
+numpy array produced by :class:`repro.grid.congestion.CongestionMap` (or any
+pricing scheme); the graph itself only stores the static attributes.
+
+The graph is stored in flat parallel arrays plus one adjacency list per node
+so Dijkstra-style searches stay reasonably fast in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.geometry import GridPoint
+from repro.grid.layers import LayerStack, default_layer_stack
+from repro.timing.delay import LinearDelayModel
+
+__all__ = ["Edge", "RoutingGraph", "build_grid_graph"]
+
+# Cost charged for one via relative to one track-tile of wiring.  Vias are
+# cheap compared to wires but not free, so gratuitous layer hopping is
+# discouraged -- the via counts of Tables IV/V depend on this trade-off.
+VIA_BASE_COST = 0.5
+# Vias between two tiles are plentiful compared to routing tracks.
+VIA_CAPACITY = 24.0
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A single routing-graph edge (convenience view onto the flat arrays)."""
+
+    index: int
+    u: int
+    v: int
+    layer: int
+    wire_type: int
+    length: float
+    delay: float
+    base_cost: float
+    capacity: float
+    is_via: bool
+
+
+class RoutingGraph:
+    """A 3D grid global routing graph.
+
+    Use :func:`build_grid_graph` to construct one; the constructor is
+    considered internal.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        stack: LayerStack,
+        delay_model: LinearDelayModel,
+    ) -> None:
+        if nx < 1 or ny < 1:
+            raise ValueError("grid dimensions must be positive")
+        self.nx = nx
+        self.ny = ny
+        self.stack = stack
+        self.delay_model = delay_model
+        self.num_layers = stack.num_layers
+        self.num_nodes = nx * ny * self.num_layers
+
+        # Edge attribute arrays, filled by _build().
+        self.edge_u = np.empty(0, dtype=np.int32)
+        self.edge_v = np.empty(0, dtype=np.int32)
+        self.edge_layer = np.empty(0, dtype=np.int16)
+        self.edge_wire_type = np.empty(0, dtype=np.int16)
+        self.edge_length = np.empty(0, dtype=np.float64)
+        self.edge_delay = np.empty(0, dtype=np.float64)
+        self.edge_base_cost = np.empty(0, dtype=np.float64)
+        self.edge_capacity = np.empty(0, dtype=np.float64)
+        self.edge_is_via = np.empty(0, dtype=bool)
+        # adjacency[node] -> list of (edge_index, other_node)
+        self.adjacency: List[List[Tuple[int, int]]] = []
+        self._build()
+
+    # ------------------------------------------------------------ indexing
+    def node_index(self, x: int, y: int, layer: int) -> int:
+        """Flat node index of tile ``(x, y)`` on ``layer``."""
+        if not (0 <= x < self.nx and 0 <= y < self.ny and 0 <= layer < self.num_layers):
+            raise IndexError(f"node ({x},{y},{layer}) outside the grid")
+        return (layer * self.ny + y) * self.nx + x
+
+    def point_index(self, point: GridPoint) -> int:
+        """Flat node index of a :class:`GridPoint`."""
+        return self.node_index(point.x, point.y, point.layer)
+
+    def node_point(self, index: int) -> GridPoint:
+        """The :class:`GridPoint` of a flat node index."""
+        if not 0 <= index < self.num_nodes:
+            raise IndexError(f"node index {index} out of range")
+        layer, rest = divmod(index, self.nx * self.ny)
+        y, x = divmod(rest, self.nx)
+        return GridPoint(x, y, layer)
+
+    def node_planar(self, index: int) -> Tuple[int, int]:
+        """Planar (x, y) coordinates of a flat node index (cheaper than node_point)."""
+        rest = index % (self.nx * self.ny)
+        y, x = divmod(rest, self.nx)
+        return x, y
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_u)
+
+    def edge(self, index: int) -> Edge:
+        """Return an :class:`Edge` view of edge ``index``."""
+        return Edge(
+            index=index,
+            u=int(self.edge_u[index]),
+            v=int(self.edge_v[index]),
+            layer=int(self.edge_layer[index]),
+            wire_type=int(self.edge_wire_type[index]),
+            length=float(self.edge_length[index]),
+            delay=float(self.edge_delay[index]),
+            base_cost=float(self.edge_base_cost[index]),
+            capacity=float(self.edge_capacity[index]),
+            is_via=bool(self.edge_is_via[index]),
+        )
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as :class:`Edge` views."""
+        for i in range(self.num_edges):
+            yield self.edge(i)
+
+    def neighbors(self, node: int) -> List[Tuple[int, int]]:
+        """``[(edge_index, other_node), ...]`` incident to ``node``."""
+        return self.adjacency[node]
+
+    def other_endpoint(self, edge_index: int, node: int) -> int:
+        """The endpoint of ``edge_index`` that is not ``node``."""
+        u = int(self.edge_u[edge_index])
+        v = int(self.edge_v[edge_index])
+        if node == u:
+            return v
+        if node == v:
+            return u
+        raise ValueError(f"node {node} is not an endpoint of edge {edge_index}")
+
+    def base_cost_array(self) -> np.ndarray:
+        """A copy of the base (uncongested) cost vector ``c(e)``."""
+        return self.edge_base_cost.copy()
+
+    def delay_array(self) -> np.ndarray:
+        """A copy of the static delay vector ``d(e)``."""
+        return self.edge_delay.copy()
+
+    def path_endpoints(self, edge_indices: Sequence[int]) -> Tuple[int, int]:
+        """Endpoints of a simple path given as a sequence of edge indices."""
+        if not edge_indices:
+            raise ValueError("empty edge path")
+        degree: Dict[int, int] = {}
+        for e in edge_indices:
+            for node in (int(self.edge_u[e]), int(self.edge_v[e])):
+                degree[node] = degree.get(node, 0) + 1
+        ends = [node for node, deg in degree.items() if deg == 1]
+        if len(ends) != 2:
+            raise ValueError("edge sequence is not a simple path")
+        return ends[0], ends[1]
+
+    # -------------------------------------------------------------- build
+    def _build(self) -> None:
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        edge_layer: List[int] = []
+        edge_wire_type: List[int] = []
+        edge_length: List[float] = []
+        edge_delay: List[float] = []
+        edge_base_cost: List[float] = []
+        edge_capacity: List[float] = []
+        edge_is_via: List[bool] = []
+
+        def add_edge(u, v, layer, wire_type, length, delay, base_cost, capacity, is_via):
+            edge_u.append(u)
+            edge_v.append(v)
+            edge_layer.append(layer)
+            edge_wire_type.append(wire_type)
+            edge_length.append(length)
+            edge_delay.append(delay)
+            edge_base_cost.append(base_cost)
+            edge_capacity.append(capacity)
+            edge_is_via.append(is_via)
+
+        dm = self.delay_model
+        # Routing edges along each layer's preferred direction.
+        for layer in self.stack:
+            z = layer.index
+            for wt_index, wire_type in enumerate(layer.wire_types):
+                delay = dm.wire_delay(z, wire_type.name, 1.0)
+                base_cost = wire_type.track_usage
+                capacity = float(layer.tracks_per_tile)
+                if layer.direction == "H":
+                    for y in range(self.ny):
+                        for x in range(self.nx - 1):
+                            add_edge(
+                                self.node_index(x, y, z),
+                                self.node_index(x + 1, y, z),
+                                z, wt_index, 1.0, delay, base_cost, capacity, False,
+                            )
+                else:
+                    for y in range(self.ny - 1):
+                        for x in range(self.nx):
+                            add_edge(
+                                self.node_index(x, y, z),
+                                self.node_index(x, y + 1, z),
+                                z, wt_index, 1.0, delay, base_cost, capacity, False,
+                            )
+        # Via edges between adjacent layers.
+        for z in range(self.num_layers - 1):
+            via_delay = dm.via_delay(z)
+            for y in range(self.ny):
+                for x in range(self.nx):
+                    add_edge(
+                        self.node_index(x, y, z),
+                        self.node_index(x, y, z + 1),
+                        z, -1, 0.0, via_delay, VIA_BASE_COST, VIA_CAPACITY, True,
+                    )
+
+        self.edge_u = np.asarray(edge_u, dtype=np.int32)
+        self.edge_v = np.asarray(edge_v, dtype=np.int32)
+        self.edge_layer = np.asarray(edge_layer, dtype=np.int16)
+        self.edge_wire_type = np.asarray(edge_wire_type, dtype=np.int16)
+        self.edge_length = np.asarray(edge_length, dtype=np.float64)
+        self.edge_delay = np.asarray(edge_delay, dtype=np.float64)
+        self.edge_base_cost = np.asarray(edge_base_cost, dtype=np.float64)
+        self.edge_capacity = np.asarray(edge_capacity, dtype=np.float64)
+        self.edge_is_via = np.asarray(edge_is_via, dtype=bool)
+
+        self.adjacency = [[] for _ in range(self.num_nodes)]
+        for e in range(len(edge_u)):
+            u = edge_u[e]
+            v = edge_v[e]
+            self.adjacency[u].append((e, v))
+            self.adjacency[v].append((e, u))
+
+    # -------------------------------------------------------------- repr
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutingGraph({self.nx}x{self.ny}x{self.num_layers}, "
+            f"{self.num_nodes} nodes, {self.num_edges} edges)"
+        )
+
+
+def build_grid_graph(
+    nx: int,
+    ny: int,
+    num_layers: int = 8,
+    stack: Optional[LayerStack] = None,
+    delay_model: Optional[LinearDelayModel] = None,
+) -> RoutingGraph:
+    """Build a 3D grid routing graph.
+
+    Parameters
+    ----------
+    nx, ny:
+        Number of global routing tiles in x and y.
+    num_layers:
+        Number of metal layers (ignored when ``stack`` is given).
+    stack:
+        Explicit layer stack; defaults to :func:`default_layer_stack`.
+    delay_model:
+        Explicit delay model; defaults to a :class:`LinearDelayModel` over
+        the stack with default buffer parameters.
+    """
+    if stack is None:
+        stack = default_layer_stack(num_layers)
+    if delay_model is None:
+        delay_model = LinearDelayModel(stack)
+    return RoutingGraph(nx, ny, stack, delay_model)

@@ -1,0 +1,214 @@
+"""Metal layer stack and wire type definitions.
+
+The global routing graph is built from a :class:`LayerStack`.  Each
+:class:`Layer` routes in one preferred direction (horizontal or vertical) and
+offers one or more :class:`WireType` options -- width/spacing configurations
+that trade routing capacity against resistance.  The paper's routing graph
+"may have a parallel edge for each wire type that has an individual cost and
+delay"; we model exactly that.
+
+Electrical numbers are per global-routing-tile units in a 5nm-class
+technology: the absolute values are synthetic (the industrial data is not
+public) but the *relative* scaling between thin lower layers and thick upper
+layers follows the usual pattern (upper layers are several times less
+resistive), which is what drives layer assignment trade-offs in the linear
+delay model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["WireType", "Layer", "LayerStack", "default_layer_stack"]
+
+
+@dataclass(frozen=True)
+class WireType:
+    """A width/spacing configuration available on a layer.
+
+    Attributes
+    ----------
+    name:
+        Human readable identifier, e.g. ``"1x"`` or ``"2x"``.
+    width_factor:
+        Wire width relative to the minimum width wire of the layer.  Wider
+        wires have proportionally lower resistance.
+    spacing_factor:
+        Spacing relative to minimum spacing.  Together with the width this
+        determines how many routing tracks one wire of this type consumes.
+    cap_factor:
+        Capacitance per unit length relative to the minimum width wire.
+        Wider wires have a slightly larger area capacitance but reduced
+        coupling; the net effect is a mild increase.
+    """
+
+    name: str
+    width_factor: float = 1.0
+    spacing_factor: float = 1.0
+    cap_factor: float = 1.0
+
+    @property
+    def track_usage(self) -> float:
+        """Number of minimum-pitch tracks one wire of this type occupies."""
+        return 0.5 * (self.width_factor + 1.0) + 0.5 * (self.spacing_factor - 1.0) + 0.5
+
+    def resistance_scale(self) -> float:
+        """Resistance relative to the minimum width wire (``1 / width``)."""
+        return 1.0 / self.width_factor
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One metal layer of the stack.
+
+    Attributes
+    ----------
+    index:
+        Position in the stack, ``0`` is the lowest routable layer.
+    name:
+        Layer name, e.g. ``"M2"``.
+    direction:
+        ``"H"`` for horizontal (edges along x) or ``"V"`` for vertical
+        (edges along y) preferred routing direction.
+    unit_resistance:
+        Resistance of a minimum width wire across one global routing tile
+        (ohm / tile).
+    unit_capacitance:
+        Capacitance of a minimum width wire across one tile (fF / tile).
+    tracks_per_tile:
+        Number of minimum-pitch routing tracks crossing a tile boundary;
+        this is the capacity of a routing edge on this layer.
+    via_resistance:
+        Resistance of a via from this layer to the next layer up (ohm).
+    via_capacitance:
+        Capacitance of such a via (fF).
+    wire_types:
+        The wire types available on this layer.  The first entry is the
+        default minimum-width wire.
+    """
+
+    index: int
+    name: str
+    direction: str
+    unit_resistance: float
+    unit_capacitance: float
+    tracks_per_tile: int
+    via_resistance: float = 4.0
+    via_capacitance: float = 0.05
+    wire_types: Tuple[WireType, ...] = (WireType("1x"),)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("H", "V"):
+            raise ValueError(f"layer direction must be 'H' or 'V', got {self.direction!r}")
+        if self.unit_resistance <= 0 or self.unit_capacitance <= 0:
+            raise ValueError("layer RC parameters must be positive")
+        if self.tracks_per_tile <= 0:
+            raise ValueError("tracks_per_tile must be positive")
+        if not self.wire_types:
+            raise ValueError("a layer needs at least one wire type")
+
+    def wire_rc(self, wire_type: WireType) -> Tuple[float, float]:
+        """Per-tile (resistance, capacitance) of ``wire_type`` on this layer."""
+        r = self.unit_resistance * wire_type.resistance_scale()
+        c = self.unit_capacitance * wire_type.cap_factor
+        return r, c
+
+
+@dataclass
+class LayerStack:
+    """An ordered stack of routable metal layers."""
+
+    layers: List[Layer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for i, layer in enumerate(self.layers):
+            if layer.index != i:
+                raise ValueError(
+                    f"layer {layer.name} has index {layer.index}, expected {i}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def layer_by_name(self, name: str) -> Layer:
+        """Look up a layer by its name."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")
+
+    def wire_options(self) -> List[Tuple[Layer, WireType]]:
+        """All (layer, wire type) combinations in the stack."""
+        return [(layer, wt) for layer in self.layers for wt in layer.wire_types]
+
+    def truncated(self, num_layers: int) -> "LayerStack":
+        """Return a stack consisting of the lowest ``num_layers`` layers.
+
+        Chips in the evaluation use between 7 and 15 metal layers
+        (paper Table III); they are modelled as prefixes of the full stack.
+        """
+        if not 1 <= num_layers <= len(self.layers):
+            raise ValueError(
+                f"num_layers must be in [1, {len(self.layers)}], got {num_layers}"
+            )
+        return LayerStack(self.layers[:num_layers])
+
+
+def default_layer_stack(num_layers: int = 15) -> LayerStack:
+    """Build the default 5nm-class layer stack with up to 15 routable layers.
+
+    Lower layers (M1-M4 analogues) are thin and resistive with a single wire
+    type.  Intermediate layers add a ``2x`` wide option, and the thick upper
+    layers add a ``4x`` option.  Resistance drops by roughly an order of
+    magnitude from the bottom to the top of the stack, so fast long-distance
+    connections want to be embedded high -- exactly the layer-assignment
+    freedom the cost-distance embedding exploits.
+    """
+    if not 1 <= num_layers <= 15:
+        raise ValueError("num_layers must be between 1 and 15")
+
+    specs = []
+    # (unit_resistance ohm/tile, unit_capacitance fF/tile, tracks, via_r)
+    for i in range(15):
+        if i < 4:  # thin local layers
+            r, c, tracks, via_r = 36.0 / (1.0 + 0.15 * i), 1.8, 10, 6.0
+            wire_types = (WireType("1x"),)
+        elif i < 8:  # intermediate layers
+            r, c, tracks, via_r = 16.0 / (1.0 + 0.2 * (i - 4)), 1.9, 8, 4.0
+            wire_types = (WireType("1x"), WireType("2x", 2.0, 1.5, 1.15))
+        elif i < 12:  # semi-global layers
+            r, c, tracks, via_r = 6.0 / (1.0 + 0.25 * (i - 8)), 2.0, 6, 3.0
+            wire_types = (WireType("1x"), WireType("2x", 2.0, 1.5, 1.15))
+        else:  # thick global layers
+            r, c, tracks, via_r = 1.6 / (1.0 + 0.3 * (i - 12)), 2.2, 4, 2.0
+            wire_types = (
+                WireType("1x"),
+                WireType("2x", 2.0, 1.5, 1.15),
+                WireType("4x", 4.0, 2.0, 1.3),
+            )
+        direction = "H" if i % 2 == 0 else "V"
+        specs.append(
+            Layer(
+                index=i,
+                name=f"M{i + 1}",
+                direction=direction,
+                unit_resistance=r,
+                unit_capacitance=c,
+                tracks_per_tile=tracks,
+                via_resistance=via_r,
+                via_capacitance=0.05,
+                wire_types=wire_types,
+            )
+        )
+    return LayerStack(specs).truncated(num_layers)

@@ -1,0 +1,25 @@
+"""Synthetic chip and Steiner-instance generators.
+
+The paper evaluates on eight industrial 5nm designs (Table III) which are not
+public.  This package generates synthetic analogues with the same *structure*
+-- clustered pins, realistic net size distributions, multi-stage timing paths,
+7 to 15 metal layers -- at a scale a pure-Python implementation can route in
+minutes.  The substitution is documented in DESIGN.md.
+"""
+
+from repro.instances.generator import (
+    NetlistGeneratorConfig,
+    generate_netlist,
+    generate_steiner_instances,
+)
+from repro.instances.chips import ChipSpec, CHIP_SUITE, build_chip, chip_table
+
+__all__ = [
+    "NetlistGeneratorConfig",
+    "generate_netlist",
+    "generate_steiner_instances",
+    "ChipSpec",
+    "CHIP_SUITE",
+    "build_chip",
+    "chip_table",
+]

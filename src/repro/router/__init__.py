@@ -1,0 +1,32 @@
+"""Timing-constrained global routing framework.
+
+This package provides the routing flow the paper plugs its Steiner oracle
+into (following Held et al., "Global Routing With Timing Constraints",
+TCAD 2018):
+
+* :mod:`repro.router.netlist` -- nets, pins, and the combinational stage
+  structure that defines the timing graph.
+* :mod:`repro.router.resource_sharing` -- the Lagrangean / multiplicative
+  weights price updates for edge capacities and sink delay constraints.
+* :mod:`repro.router.router` -- the :class:`GlobalRouter` driving the flow:
+  per-net Steiner oracle calls, congestion accumulation, price and delay
+  weight updates, and final metrics.
+* :mod:`repro.router.metrics` -- the result record (WS, TNS, ACE4, wire
+  length, vias, walltime) reported in paper Tables IV and V.
+"""
+
+from repro.router.netlist import Pin, Net, Netlist
+from repro.router.resource_sharing import ResourceSharingPrices, ResourceSharingConfig
+from repro.router.metrics import RoutingResult
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+__all__ = [
+    "Pin",
+    "Net",
+    "Netlist",
+    "ResourceSharingPrices",
+    "ResourceSharingConfig",
+    "RoutingResult",
+    "GlobalRouter",
+    "GlobalRouterConfig",
+]

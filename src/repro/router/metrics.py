@@ -1,0 +1,59 @@
+"""Result records of a global routing run.
+
+A :class:`RoutingResult` carries exactly the columns of paper Tables IV/V:
+worst slack (WS), total negative slack (TNS), the ACE4 congestion metric,
+total wire length, via count, and wall time, plus a few extra diagnostics
+(overflow, objective sum) that are useful in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RoutingResult", "format_result_row"]
+
+
+@dataclass
+class RoutingResult:
+    """Metrics of one (chip, Steiner method) routing run."""
+
+    chip: str
+    method: str
+    worst_slack: float
+    total_negative_slack: float
+    ace4: float
+    wire_length: float
+    via_count: int
+    walltime_seconds: float
+    overflow: float = 0.0
+    objective: float = 0.0
+    num_nets: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (used by the table formatters)."""
+        return {
+            "chip": self.chip,
+            "method": self.method,
+            "WS": self.worst_slack,
+            "TNS": self.total_negative_slack,
+            "ACE4": self.ace4,
+            "WL": self.wire_length,
+            "Vias": self.via_count,
+            "Walltime": self.walltime_seconds,
+            "Overflow": self.overflow,
+            "Objective": self.objective,
+        }
+
+
+def format_result_row(result: RoutingResult) -> str:
+    """One table line in the spirit of paper Tables IV/V."""
+    return (
+        f"{result.chip:>4} {result.method:>3} "
+        f"WS={result.worst_slack:9.1f}ps "
+        f"TNS={result.total_negative_slack:12.1f}ps "
+        f"ACE4={result.ace4:6.2f}% "
+        f"WL={result.wire_length:9.1f} "
+        f"Vias={result.via_count:8d} "
+        f"t={result.walltime_seconds:7.2f}s"
+    )

@@ -1,0 +1,136 @@
+"""Lagrangean / multiplicative-weights price updates for global routing.
+
+Timing-constrained global routing is solved by Lagrangean relaxation
+(resource sharing): congestion capacities and timing constraints are relaxed
+into prices, and the relaxed problem decomposes into one cost-distance
+Steiner tree problem per net (paper Eq. (1)).  This module maintains those
+prices:
+
+* **edge prices** grow multiplicatively with the congestion of each routing
+  edge, so that subsequent Steiner trees avoid overused regions, and
+* **sink delay weights** grow with the (negative) slack of each sink, so that
+  critical sinks get short, fast paths -- these weights are exactly the
+  ``w(t)`` of the cost-distance objective.
+
+The update rules follow the multiplicative-weights scheme of Held et al.
+(TCAD 2018) in simplified form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.congestion import CongestionMap
+from repro.grid.graph import RoutingGraph
+from repro.timing.sta import TimingReport
+
+__all__ = ["ResourceSharingConfig", "ResourceSharingPrices"]
+
+
+@dataclass(frozen=True)
+class ResourceSharingConfig:
+    """Parameters of the price update rules.
+
+    Attributes
+    ----------
+    edge_price_strength:
+        Exponent scale of the multiplicative edge price update; larger values
+        react more aggressively to congestion.
+    max_edge_price:
+        Upper bound on edge prices (keeps costs finite on hopeless overflows).
+    base_delay_weight:
+        Delay weight of a sink with ample positive slack.
+    critical_delay_weight:
+        Additional weight given to a sink at the worst observed slack.
+    weight_smoothing:
+        Convex combination factor for weight updates between rounds
+        (1.0 = replace, 0.0 = keep old weights).
+    """
+
+    edge_price_strength: float = 1.5
+    max_edge_price: float = 64.0
+    base_delay_weight: float = 0.15
+    critical_delay_weight: float = 2.0
+    weight_smoothing: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.edge_price_strength < 0:
+            raise ValueError("edge_price_strength must be non-negative")
+        if self.max_edge_price < 1:
+            raise ValueError("max_edge_price must be at least 1")
+        if self.base_delay_weight < 0 or self.critical_delay_weight < 0:
+            raise ValueError("delay weights must be non-negative")
+        if not 0.0 <= self.weight_smoothing <= 1.0:
+            raise ValueError("weight_smoothing must lie in [0, 1]")
+
+
+class ResourceSharingPrices:
+    """Holds and updates edge prices and per-sink delay weights."""
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        num_sinks_per_net: Sequence[int],
+        config: Optional[ResourceSharingConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config or ResourceSharingConfig()
+        self.edge_prices = np.ones(graph.num_edges, dtype=np.float64)
+        self.delay_weights: List[List[float]] = [
+            [self.config.base_delay_weight] * n for n in num_sinks_per_net
+        ]
+
+    # ------------------------------------------------------------- queries
+    def edge_costs(self, congestion: CongestionMap) -> np.ndarray:
+        """Current per-edge congestion cost ``c(e)`` for the Steiner oracles."""
+        return congestion.edge_costs(self.edge_prices)
+
+    def weights_of(self, net_index: int) -> List[float]:
+        """Current delay weights ``w(t)`` of one net's sinks."""
+        return list(self.delay_weights[net_index])
+
+    # -------------------------------------------------------------- update
+    def update_edge_prices(self, congestion: CongestionMap) -> None:
+        """Multiplicative price update from the current edge congestion."""
+        utilisation = congestion.congestion()
+        factor = np.exp(self.config.edge_price_strength * np.clip(utilisation - 0.5, 0.0, None))
+        self.edge_prices = np.minimum(self.edge_prices * factor, self.config.max_edge_price)
+
+    def update_delay_weights(self, report: TimingReport) -> None:
+        """Update sink delay weights from the latest timing report.
+
+        Sinks with negative or near-critical slack receive larger weights;
+        sinks with comfortable slack fall back towards the base weight.  The
+        mapping is normalised by the worst observed slack so the weights stay
+        in a stable range across instances.
+        """
+        cfg = self.config
+        worst = min(report.worst_slack, -1e-9)
+        for net_index, weights in enumerate(self.delay_weights):
+            slacks = report.sink_slacks.get(net_index)
+            if slacks is None:
+                continue
+            for sink_index in range(len(weights)):
+                slack = slacks[sink_index]
+                if slack == float("inf"):
+                    target = cfg.base_delay_weight
+                else:
+                    criticality = max(0.0, -slack / -worst) if worst < 0 else 0.0
+                    # Sinks close to critical (small positive slack) also get
+                    # a mild push so they do not become critical next round.
+                    if slack >= 0:
+                        closeness = max(0.0, 1.0 - slack / max(1.0, -worst * 2))
+                        criticality = max(criticality, 0.25 * closeness)
+                    target = cfg.base_delay_weight + cfg.critical_delay_weight * criticality
+                old = weights[sink_index]
+                weights[sink_index] = (
+                    (1.0 - cfg.weight_smoothing) * old + cfg.weight_smoothing * target
+                )
+
+    def total_edge_price(self) -> float:
+        """Sum of all edge prices (a monotone progress indicator)."""
+        return float(np.sum(self.edge_prices))

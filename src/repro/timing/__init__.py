@@ -1,0 +1,26 @@
+"""Timing substrate: linear delay model, repeater chains, and a simple STA.
+
+Before buffering, routers estimate signal delay with a *linear delay model*:
+the delay of a wire is proportional to its length, with a per-unit-length
+coefficient that depends on the layer and wire type (it models the delay of
+an optimally repeatered wire).  This package provides
+
+* :mod:`repro.timing.repeater` -- the repeater-chain model used to derive
+  per-unit delays and the bifurcation penalty ``dbif``,
+* :mod:`repro.timing.delay` -- the :class:`LinearDelayModel` that assigns a
+  delay to every routing-graph edge, and
+* :mod:`repro.timing.sta` -- a small static timing analyser computing worst
+  slack (WS) and total negative slack (TNS) over routed netlists.
+"""
+
+from repro.timing.repeater import BufferParameters, RepeaterChainModel
+from repro.timing.delay import LinearDelayModel
+from repro.timing.sta import StaticTimingAnalysis, TimingReport
+
+__all__ = [
+    "BufferParameters",
+    "RepeaterChainModel",
+    "LinearDelayModel",
+    "StaticTimingAnalysis",
+    "TimingReport",
+]

@@ -1,0 +1,87 @@
+"""Linear delay model over the routing graph.
+
+The :class:`LinearDelayModel` turns the electrical layer stack into the
+per-edge delay coefficients ``d(e)`` of the cost-distance objective: a
+routing edge on layer ``z`` with wire type ``w`` costs
+``delay_per_tile(z, w) * length`` picoseconds, and a via edge costs the
+via delay of the lower of its two layers.
+
+The model also exposes the quantities the practical enhancements of the
+algorithm need: the fastest per-tile delay over the whole stack (used as an
+admissible A* lower bound on the delay of any path of a given L1 length) and
+the bifurcation penalty ``dbif`` derived from the repeater-chain model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.grid.layers import Layer, LayerStack, WireType
+from repro.timing.repeater import BufferParameters, RepeaterChainModel
+
+__all__ = ["LinearDelayModel"]
+
+
+@dataclass
+class LinearDelayModel:
+    """Per-edge linear delay coefficients for a layer stack.
+
+    Parameters
+    ----------
+    stack:
+        The metal layer stack of the chip.
+    buffer:
+        Repeater parameters; defaults to :class:`BufferParameters`'s defaults.
+    """
+
+    stack: LayerStack
+    buffer: Optional[BufferParameters] = None
+    _chain: RepeaterChainModel = field(init=False, repr=False)
+    _per_tile: Dict[Tuple[int, str], float] = field(init=False, repr=False, default_factory=dict)
+    _via: Dict[int, float] = field(init=False, repr=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._chain = RepeaterChainModel(self.buffer)
+        for layer in self.stack:
+            for wire_type in layer.wire_types:
+                self._per_tile[(layer.index, wire_type.name)] = self._chain.delay_per_tile(
+                    layer, wire_type
+                )
+            self._via[layer.index] = self._chain.via_delay(layer)
+
+    # ------------------------------------------------------------ per edge
+    def wire_delay(self, layer_index: int, wire_type_name: str, length: float = 1.0) -> float:
+        """Delay (ps) of a wire of ``length`` tiles on the given layer/wire type."""
+        key = (layer_index, wire_type_name)
+        if key not in self._per_tile:
+            raise KeyError(f"unknown layer/wire type combination {key}")
+        return self._per_tile[key] * length
+
+    def via_delay(self, lower_layer_index: int) -> float:
+        """Delay (ps) of a via between ``lower_layer_index`` and the layer above."""
+        if lower_layer_index not in self._via:
+            raise KeyError(f"unknown layer index {lower_layer_index}")
+        return self._via[lower_layer_index]
+
+    # ------------------------------------------------------------ summaries
+    def fastest_delay_per_tile(self) -> float:
+        """Smallest per-tile delay over all layers and wire types.
+
+        Used as an admissible lower bound for goal-oriented path search: any
+        path covering an L1 distance of ``k`` tiles has delay at least
+        ``k * fastest_delay_per_tile()``.
+        """
+        return min(self._per_tile.values())
+
+    def fastest_option(self) -> Tuple[Layer, WireType, float]:
+        """The (layer, wire type, per-tile delay) with the lowest delay."""
+        return self._chain.fastest_option(self.stack)
+
+    def bifurcation_penalty(self) -> float:
+        """The bifurcation penalty ``dbif`` (ps) for this stack."""
+        return self._chain.bifurcation_penalty(self.stack)
+
+    def repeater_model(self) -> RepeaterChainModel:
+        """The underlying repeater-chain model."""
+        return self._chain

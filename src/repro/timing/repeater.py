@@ -1,0 +1,143 @@
+"""Repeater-chain delay model.
+
+The linear delay model used before buffer insertion assumes that every long
+wire will eventually be broken into segments by optimally spaced repeaters.
+Under the Elmore delay model, a repeatered segment of length ``l`` on a wire
+with per-unit resistance ``r`` and capacitance ``c`` driven by a buffer with
+drive resistance ``Rb``, input capacitance ``Cb`` and intrinsic delay ``tb``
+has delay
+
+    D(l) = tb + Rb * (c * l + Cb) + r * l * (c * l / 2 + Cb).
+
+Minimising ``D(l) / l`` over ``l`` gives the optimal spacing
+
+    l* = sqrt(2 * (tb + Rb * Cb) / (r * c))
+
+and the per-unit delay of the optimally repeatered wire.  This is the
+``d(e)`` coefficient of the linear delay model for each layer / wire type.
+
+The bifurcation penalty ``dbif`` follows the paper (and Bartoschek et al.,
+ISPD'06): it is "the delay increase when adding the input capacitance in the
+middle of a single net, minimizing over all layers and wire types".  Adding a
+branch at the midpoint of an optimally spaced segment places an extra buffer
+input capacitance ``Cb`` at distance ``l*/2`` from the driving repeater, so
+the delay of that segment increases by ``(Rb + r * l*/2) * Cb``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.grid.layers import Layer, LayerStack, WireType
+
+__all__ = ["BufferParameters", "RepeaterChainModel"]
+
+
+@dataclass(frozen=True)
+class BufferParameters:
+    """Electrical parameters of the repeater used for the linear delay model.
+
+    Attributes
+    ----------
+    drive_resistance:
+        Output resistance ``Rb`` of the repeater (ohm).
+    input_capacitance:
+        Input capacitance ``Cb`` of the repeater (fF).
+    intrinsic_delay:
+        Intrinsic (unloaded) delay ``tb`` of the repeater (ps).
+    """
+
+    drive_resistance: float = 120.0
+    input_capacitance: float = 0.9
+    intrinsic_delay: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.drive_resistance <= 0 or self.input_capacitance <= 0:
+            raise ValueError("buffer parameters must be positive")
+        if self.intrinsic_delay < 0:
+            raise ValueError("intrinsic delay must be non-negative")
+
+
+class RepeaterChainModel:
+    """Derives linear-delay coefficients and ``dbif`` from repeater chains.
+
+    Parameters
+    ----------
+    buffer:
+        The repeater used for all chains.
+    time_scale:
+        Multiplies all RC products.  With resistance in ohm and capacitance
+        in fF an RC product is in femtoseconds; the default scale of ``1e-3``
+        reports delays in picoseconds.
+    """
+
+    def __init__(self, buffer: Optional[BufferParameters] = None, time_scale: float = 1e-3):
+        self.buffer = buffer or BufferParameters()
+        self.time_scale = time_scale
+
+    # ------------------------------------------------------------------ core
+    def optimal_spacing(self, layer: Layer, wire_type: WireType) -> float:
+        """Optimal repeater spacing ``l*`` in tiles for ``(layer, wire_type)``."""
+        r, c = layer.wire_rc(wire_type)
+        b = self.buffer
+        return math.sqrt(2.0 * (b.intrinsic_delay / self.time_scale + b.drive_resistance * b.input_capacitance) / (r * c))
+
+    def segment_delay(self, layer: Layer, wire_type: WireType, length: float) -> float:
+        """Elmore delay (ps) of one repeatered segment of ``length`` tiles."""
+        if length < 0:
+            raise ValueError("segment length must be non-negative")
+        r, c = layer.wire_rc(wire_type)
+        b = self.buffer
+        rc_part = (
+            b.drive_resistance * (c * length + b.input_capacitance)
+            + r * length * (c * length / 2.0 + b.input_capacitance)
+        )
+        return b.intrinsic_delay + self.time_scale * rc_part
+
+    def delay_per_tile(self, layer: Layer, wire_type: WireType) -> float:
+        """Per-tile delay (ps) of an optimally repeatered wire."""
+        spacing = self.optimal_spacing(layer, wire_type)
+        return self.segment_delay(layer, wire_type, spacing) / spacing
+
+    def via_delay(self, layer: Layer) -> float:
+        """Delay (ps) charged for a via leaving ``layer`` towards the next layer."""
+        b = self.buffer
+        load = layer.via_capacitance + b.input_capacitance
+        return self.time_scale * 0.69 * layer.via_resistance * load
+
+    # ---------------------------------------------------------------- dbif
+    def branch_delay_increase(self, layer: Layer, wire_type: WireType) -> float:
+        """Delay increase (ps) of adding a branch load mid-segment on this wire."""
+        r, _ = layer.wire_rc(wire_type)
+        b = self.buffer
+        spacing = self.optimal_spacing(layer, wire_type)
+        return self.time_scale * (b.drive_resistance + r * spacing / 2.0) * b.input_capacitance
+
+    def bifurcation_penalty(self, stack: LayerStack) -> float:
+        """Total bifurcation penalty ``dbif`` (ps) for a layer stack.
+
+        Minimises the mid-net branch delay increase over all layers and wire
+        types, following the paper's definition.
+        """
+        best = None
+        for layer, wire_type in stack.wire_options():
+            value = self.branch_delay_increase(layer, wire_type)
+            if best is None or value < best:
+                best = value
+        if best is None:
+            raise ValueError("layer stack has no wire options")
+        return best
+
+    # -------------------------------------------------------------- queries
+    def fastest_option(self, stack: LayerStack) -> Tuple[Layer, WireType, float]:
+        """Return ``(layer, wire_type, delay_per_tile)`` with the lowest per-tile delay."""
+        best: Optional[Tuple[Layer, WireType, float]] = None
+        for layer, wire_type in stack.wire_options():
+            d = self.delay_per_tile(layer, wire_type)
+            if best is None or d < best[2]:
+                best = (layer, wire_type, d)
+        if best is None:
+            raise ValueError("layer stack has no wire options")
+        return best

@@ -1,0 +1,305 @@
+"""Tests for the topology-first baselines (L1, SL, PD) and their embedding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.embedding import TopologyEmbedder
+from repro.baselines.prim_dijkstra import PrimDijkstraOracle, prim_dijkstra_topology
+from repro.baselines.rsmt import RectilinearSteinerOracle, rectilinear_steiner_topology
+from repro.baselines.shallow_light import ShallowLightOracle, shallow_light_topology
+from repro.baselines.topology import PlaneTopology, closest_point_on_edge
+from repro.core.bifurcation import BifurcationModel
+from repro.core.cost_distance import CostDistanceSolver
+from repro.core.objective import evaluate_tree
+from repro.core.shortest_path import dijkstra
+from repro.core.instance import SteinerInstance
+from repro.grid.geometry import planar_l1
+from repro.grid.graph import build_grid_graph
+
+from tests.conftest import make_instance
+
+
+class TestPlaneTopology:
+    def test_basic_construction(self):
+        topo = PlaneTopology([(0, 0), (3, 0), (3, 4)], [None, 0, 1], [2])
+        assert topo.num_nodes == 3
+        assert topo.total_length() == 7
+        assert topo.path_length(2) == 7
+        assert topo.edge_length(0) == 0
+
+    def test_invalid_root_parent(self):
+        with pytest.raises(ValueError):
+            PlaneTopology([(0, 0)], [0], [])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            PlaneTopology([(0, 0), (1, 0), (2, 0)], [None, 2, 1], [])
+
+    def test_children_and_subtree(self):
+        topo = PlaneTopology([(0, 0), (1, 0), (2, 0), (1, 1)], [None, 0, 1, 1], [2, 3])
+        children = topo.children()
+        assert children[1] == [2, 3]
+        assert set(topo.subtree_nodes(1)) == {1, 2, 3}
+
+    def test_add_and_reattach(self):
+        topo = PlaneTopology([(0, 0), (5, 0)], [None, 0], [1])
+        new = topo.add_node((2, 0), 0)
+        topo.reattach(1, new)
+        assert topo.parents[1] == new
+        assert topo.total_length() == 5
+        with pytest.raises(ValueError):
+            topo.reattach(0, 1)
+        with pytest.raises(ValueError):
+            topo.reattach(new, 1)  # would create a cycle
+
+    def test_validate_spans(self):
+        topo = PlaneTopology([(0, 0), (3, 3)], [None, 0], [1])
+        topo.validate_spans([(3, 3)])
+        with pytest.raises(ValueError):
+            topo.validate_spans([(4, 4)])
+
+    def test_closest_point_on_edge(self):
+        attach, dist = closest_point_on_edge((5, 5), (0, 0), (10, 0))
+        assert attach == (5, 0)
+        assert dist == 5
+        attach, dist = closest_point_on_edge((2, 1), (0, 0), (4, 3))
+        assert attach == (2, 1)
+        assert dist == 0
+
+
+class TestRectilinearTopology:
+    def test_single_sink(self):
+        topo = rectilinear_steiner_topology((0, 0), [(4, 3)])
+        topo.validate_spans([(4, 3)])
+        assert topo.total_length() == 7
+
+    def test_three_sinks_star_optimal(self):
+        # Root and three sinks forming a cross: a single Steiner point at the
+        # centre gives total length 4, the optimum.
+        topo = rectilinear_steiner_topology((2, 0), [(2, 4), (0, 2), (4, 2)])
+        assert topo.total_length() <= 8
+        topo.validate_spans([(2, 4), (0, 2), (4, 2)])
+
+    def test_collinear_terminals(self):
+        sinks = [(1, 0), (2, 0), (3, 0), (4, 0)]
+        topo = rectilinear_steiner_topology((0, 0), sinks)
+        assert topo.total_length() == 4
+
+    def test_duplicate_sink_positions(self):
+        topo = rectilinear_steiner_topology((0, 0), [(2, 2), (2, 2)])
+        topo.validate_spans([(2, 2), (2, 2)])
+        assert topo.total_length() == 4
+
+    def test_length_not_worse_than_star(self):
+        rng = random.Random(5)
+        root = (rng.randrange(12), rng.randrange(12))
+        sinks = [(rng.randrange(12), rng.randrange(12)) for _ in range(9)]
+        topo = rectilinear_steiner_topology(root, sinks)
+        star = sum(planar_l1(root, s) for s in sinks)
+        assert topo.total_length() <= star
+        topo.validate_spans(sinks)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=10
+        ),
+        st.tuples(st.integers(0, 10), st.integers(0, 10)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_spans_and_hpwl_lower_bound(self, sinks, root):
+        topo = rectilinear_steiner_topology(root, sinks)
+        topo.validate_spans(sinks)
+        xs = [root[0]] + [s[0] for s in sinks]
+        ys = [root[1]] + [s[1] for s in sinks]
+        hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+        assert topo.total_length() >= hpwl or topo.total_length() == 0
+
+
+class TestShallowLightTopology:
+    def test_path_length_bound_respected(self):
+        rng = random.Random(11)
+        root = (0, 0)
+        sinks = [(rng.randrange(15), rng.randrange(15)) for _ in range(12)]
+        eps = 0.25
+        topo = shallow_light_topology(root, sinks, epsilon=eps)
+        topo.validate_spans(sinks)
+        for sink_node, sink in zip(topo.sink_nodes, sinks):
+            bound = (1 + eps) * planar_l1(root, sink)
+            assert topo.path_length(sink_node) <= bound + 1e-9
+
+    def test_epsilon_zero_gives_shortest_paths(self):
+        root = (0, 0)
+        sinks = [(5, 5), (8, 2), (1, 9)]
+        topo = shallow_light_topology(root, sinks, epsilon=0.0)
+        for sink_node, sink in zip(topo.sink_nodes, sinks):
+            assert topo.path_length(sink_node) == planar_l1(root, sink)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            shallow_light_topology((0, 0), [(1, 1)], epsilon=-0.1)
+
+    def test_large_epsilon_keeps_short_tree(self):
+        rng = random.Random(3)
+        root = (7, 7)
+        sinks = [(rng.randrange(15), rng.randrange(15)) for _ in range(10)]
+        light = rectilinear_steiner_topology(root, sinks)
+        shallow = shallow_light_topology(root, sinks, epsilon=100.0)
+        # With a huge epsilon no re-rooting is needed, so the length matches
+        # the underlying light tree.
+        assert shallow.total_length() <= light.total_length() * 1.01
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bound_property(self, sinks):
+        root = (6, 6)
+        eps = 0.3
+        topo = shallow_light_topology(root, sinks, epsilon=eps)
+        for sink_node, sink in zip(topo.sink_nodes, sinks):
+            assert topo.path_length(sink_node) <= (1 + eps) * planar_l1(root, sink) + 1e-9
+
+
+class TestPrimDijkstraTopology:
+    def test_alpha_zero_behaves_like_short_tree(self):
+        rng = random.Random(2)
+        root = (0, 0)
+        sinks = [(rng.randrange(10), rng.randrange(10)) for _ in range(8)]
+        topo = prim_dijkstra_topology(root, sinks, alpha=0.0)
+        topo.validate_spans(sinks)
+        star = sum(planar_l1(root, s) for s in sinks)
+        assert topo.total_length() <= star
+
+    def test_alpha_one_gives_shortest_paths(self):
+        root = (0, 0)
+        sinks = [(4, 4), (6, 1), (2, 7)]
+        topo = prim_dijkstra_topology(root, sinks, alpha=1.0)
+        for sink_node, sink in zip(topo.sink_nodes, sinks):
+            assert topo.path_length(sink_node) == planar_l1(root, sink)
+
+    def test_weighted_mode_prefers_short_paths_for_heavy_sinks(self):
+        root = (0, 0)
+        sinks = [(10, 0), (5, 1), (5, -1) if False else (6, 2)]
+        weights = [10.0, 0.1, 0.1]
+        topo = prim_dijkstra_topology(
+            root, sinks, weights, cost_rate=1.0, delay_rate=1.0
+        )
+        heavy_node = topo.sink_nodes[0]
+        assert topo.path_length(heavy_node) <= planar_l1(root, sinks[0]) * 1.2
+
+    def test_weights_must_align(self):
+        with pytest.raises(ValueError):
+            prim_dijkstra_topology((0, 0), [(1, 1)], weights=[1.0, 2.0])
+
+    def test_bifurcation_penalty_accepted(self):
+        topo = prim_dijkstra_topology(
+            (0, 0),
+            [(3, 3), (4, 0), (0, 4)],
+            [1.0, 2.0, 0.5],
+            bifurcation=BifurcationModel(dbif=2.0, eta=0.25),
+        )
+        topo.validate_spans([(3, 3), (4, 0), (0, 4)])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_always_spans(self, sinks):
+        topo = prim_dijkstra_topology((5, 5), sinks)
+        topo.validate_spans(sinks)
+
+
+class TestEmbedding:
+    def test_two_pin_embedding_is_optimal(self, medium_graph):
+        g = medium_graph
+        root = g.node_index(1, 1, 0)
+        sink = g.node_index(12, 9, 0)
+        weight = 0.8
+        inst = SteinerInstance(g, root, [sink], [weight], g.base_cost_array(), g.delay_array())
+        tree = RectilinearSteinerOracle().build(inst)
+        tree.validate()
+        result = evaluate_tree(inst, tree)
+        lengths = (inst.cost + weight * inst.delay).tolist()
+        dist, _ = dijkstra(g, lengths, {root: 0.0}, targets=[sink])
+        assert result.total == pytest.approx(dist[sink], rel=1e-6)
+
+    @pytest.mark.parametrize(
+        "oracle_cls", [RectilinearSteinerOracle, ShallowLightOracle, PrimDijkstraOracle]
+    )
+    @pytest.mark.parametrize("num_sinks", [1, 4, 10, 20])
+    def test_oracles_produce_valid_trees(self, medium_graph, oracle_cls, num_sinks):
+        inst = make_instance(medium_graph, num_sinks, seed=num_sinks, dbif=1.0)
+        tree = oracle_cls().build(inst, random.Random(0))
+        tree.validate()
+        result = evaluate_tree(inst, tree)
+        assert result.total > 0
+
+    @pytest.mark.parametrize(
+        "oracle_cls, name",
+        [
+            (RectilinearSteinerOracle, "L1"),
+            (ShallowLightOracle, "SL"),
+            (PrimDijkstraOracle, "PD"),
+            (CostDistanceSolver, "CD"),
+        ],
+    )
+    def test_oracle_names(self, oracle_cls, name):
+        assert oracle_cls().name == name
+
+    def test_embedding_avoids_expensive_regions(self, medium_graph):
+        g = medium_graph
+        cost = g.base_cost_array()
+        for e in range(g.num_edges):
+            if g.edge_is_via[e]:
+                continue
+            x, _ = g.node_planar(int(g.edge_u[e]))
+            if x == 7:
+                cost[e] *= 80.0
+        root = g.node_index(2, 3, 0)
+        sinks = [g.node_index(4, 12, 0), g.node_index(5, 6, 0)]
+        inst = SteinerInstance(g, root, sinks, [0.1, 0.1], cost, g.delay_array())
+        tree = RectilinearSteinerOracle().build(inst)
+        for e in tree.edges:
+            x, _ = g.node_planar(int(g.edge_u[e]))
+            if not g.edge_is_via[e]:
+                assert not (x == 7 and cost[e] > 50)
+
+    def test_window_margin_zero_still_connects(self, small_graph):
+        inst = make_instance(small_graph, 4, seed=3)
+        oracle = RectilinearSteinerOracle(TopologyEmbedder(window_margin=0))
+        tree = oracle.build(inst)
+        tree.validate()
+
+    def test_duplicate_sinks(self, small_graph):
+        g = small_graph
+        root = g.node_index(0, 0, 0)
+        sink = g.node_index(6, 6, 0)
+        inst = SteinerInstance(
+            g, root, [sink, sink], [0.5, 0.7], g.base_cost_array(), g.delay_array()
+        )
+        for oracle in (RectilinearSteinerOracle(), ShallowLightOracle(), PrimDijkstraOracle()):
+            tree = oracle.build(inst)
+            tree.validate()
+
+    def test_embedding_uses_higher_layers_for_heavy_weights(self, medium_graph):
+        """With a large delay weight, the optimal embedding should climb to
+        faster layers, producing more vias than a weight-less embedding."""
+        g = medium_graph
+        root = g.node_index(0, 0, 0)
+        sink = g.node_index(15, 15, 0)
+        light = SteinerInstance(g, root, [sink], [0.01], g.base_cost_array(), g.delay_array())
+        heavy = SteinerInstance(g, root, [sink], [50.0], g.base_cost_array(), g.delay_array())
+        oracle = RectilinearSteinerOracle()
+        vias_light = oracle.build(light).via_count()
+        vias_heavy = oracle.build(heavy).via_count()
+        assert vias_heavy >= vias_light
+        # And the heavy embedding is strictly faster.
+        d_light = evaluate_tree(light, oracle.build(light)).sink_delays[0]
+        d_heavy = evaluate_tree(heavy, oracle.build(heavy)).sink_delays[0]
+        assert d_heavy <= d_light

@@ -1,0 +1,131 @@
+"""Tests for the bifurcation penalty model (paper Eq. (2) and beta)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bifurcation import BifurcationModel
+
+
+class TestValidation:
+    def test_negative_dbif_rejected(self):
+        with pytest.raises(ValueError):
+            BifurcationModel(dbif=-1.0)
+
+    def test_eta_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            BifurcationModel(dbif=1.0, eta=0.7)
+        with pytest.raises(ValueError):
+            BifurcationModel(dbif=1.0, eta=-0.1)
+
+    def test_disabled(self):
+        model = BifurcationModel.disabled()
+        assert not model.enabled
+        assert model.beta(3.0, 4.0) == 0.0
+
+    def test_with_dbif(self):
+        model = BifurcationModel(dbif=1.0, eta=0.3).with_dbif(2.0)
+        assert model.dbif == 2.0
+        assert model.eta == 0.3
+
+
+class TestSplit:
+    def test_heavier_branch_gets_eta(self):
+        model = BifurcationModel(dbif=1.0, eta=0.2)
+        lx, ly = model.split(5.0, 1.0)
+        assert lx == pytest.approx(0.2)
+        assert ly == pytest.approx(0.8)
+
+    def test_lighter_branch_gets_one_minus_eta(self):
+        model = BifurcationModel(dbif=1.0, eta=0.2)
+        lx, ly = model.split(1.0, 5.0)
+        assert lx == pytest.approx(0.8)
+        assert ly == pytest.approx(0.2)
+
+    def test_tie_gets_even_split(self):
+        model = BifurcationModel(dbif=1.0, eta=0.2)
+        assert model.split(2.0, 2.0) == (0.5, 0.5)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BifurcationModel(dbif=1.0).split(-1.0, 2.0)
+
+    @given(st.floats(0, 100), st.floats(0, 100), st.floats(0, 0.5))
+    def test_split_sums_to_one(self, wx, wy, eta):
+        model = BifurcationModel(dbif=1.0, eta=eta)
+        lx, ly = model.split(wx, wy)
+        assert lx + ly == pytest.approx(1.0)
+        assert min(lx, ly) >= eta - 1e-12
+
+    @given(st.floats(0, 100), st.floats(0, 100), st.floats(0, 0.5))
+    def test_split_is_optimal_for_weighted_objective(self, wx, wy, eta):
+        """Eq. (2): the chosen split minimises wx*lx + wy*ly over the range."""
+        model = BifurcationModel(dbif=1.0, eta=eta)
+        lx, ly = model.split(wx, wy)
+        chosen = wx * lx + wy * ly
+        for candidate in (eta, 0.25, 0.5, 0.75, 1.0 - eta):
+            if not eta <= candidate <= 1.0 - eta:
+                continue
+            assert chosen <= wx * candidate + wy * (1.0 - candidate) + 1e-9
+
+
+class TestBeta:
+    def test_beta_formula(self):
+        model = BifurcationModel(dbif=2.0, eta=0.25)
+        assert model.beta(4.0, 1.0) == pytest.approx(2.0 * (0.25 * 4.0 + 0.75 * 1.0))
+
+    def test_beta_symmetric(self):
+        model = BifurcationModel(dbif=2.0, eta=0.25)
+        assert model.beta(3.0, 7.0) == pytest.approx(model.beta(7.0, 3.0))
+
+    @given(st.floats(0, 50), st.floats(0, 50))
+    def test_beta_equals_minimum_weighted_penalty(self, wa, wb):
+        model = BifurcationModel(dbif=3.0, eta=0.3)
+        la, lb = model.split(wa, wb)
+        assert model.beta(wa, wb) == pytest.approx(
+            model.dbif * (wa * la + wb * lb), rel=1e-9, abs=1e-9
+        )
+
+    def test_beta_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BifurcationModel(dbif=1.0).beta(-0.5, 1.0)
+
+
+class TestBranchPenalties:
+    def test_single_branch_no_penalty(self):
+        model = BifurcationModel(dbif=2.0, eta=0.25)
+        assert model.branch_penalties([3.0]) == [0.0]
+
+    def test_disabled_model_all_zero(self):
+        model = BifurcationModel.disabled()
+        assert model.branch_penalties([1.0, 2.0, 3.0]) == [0.0, 0.0, 0.0]
+
+    def test_two_branches_follow_split(self):
+        model = BifurcationModel(dbif=4.0, eta=0.25)
+        penalties = model.branch_penalties([5.0, 1.0])
+        assert penalties[0] == pytest.approx(0.25 * 4.0)
+        assert penalties[1] == pytest.approx(0.75 * 4.0)
+
+    def test_three_branches_total_penalty(self):
+        model = BifurcationModel(dbif=1.0, eta=0.5)
+        penalties = model.branch_penalties([1.0, 1.0, 1.0])
+        # Two stacked bifurcations with even splits: the first two merged
+        # branches carry 0.5 + 0.5, the third 0.5.
+        assert sum(penalties) == pytest.approx(2.5)
+        assert len(penalties) == 3
+
+    @given(st.lists(st.floats(0.0, 20.0), min_size=2, max_size=6))
+    def test_every_branch_carries_at_least_eta(self, weights):
+        model = BifurcationModel(dbif=2.0, eta=0.25)
+        penalties = model.branch_penalties(weights)
+        assert len(penalties) == len(weights)
+        for p in penalties:
+            assert p >= model.eta * model.dbif - 1e-9
+
+    @given(st.lists(st.floats(0.0, 20.0), min_size=2, max_size=6))
+    def test_total_penalty_counts_k_minus_one_bifurcations(self, weights):
+        model = BifurcationModel(dbif=2.0, eta=0.5)
+        penalties = model.branch_penalties(weights)
+        # With eta = 0.5 every bifurcation splits evenly, so the sum of the
+        # per-branch penalties equals (k - 1) * dbif only when counted with
+        # multiplicity along the stacking; it is at least dbif * (k - 1) / 2.
+        assert sum(penalties) >= model.dbif * (len(weights) - 1) / 2 - 1e-9

@@ -1,0 +1,108 @@
+"""Tests for congestion tracking and the ACE / ACE4 metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.congestion import CongestionMap, ace, ace4
+
+
+class TestAceMetric:
+    def test_ace_of_uniform_congestion(self):
+        values = [0.5] * 200
+        assert ace(values, 1.0) == pytest.approx(50.0)
+        assert ace4(values) == pytest.approx(50.0)
+
+    def test_ace_picks_worst_edges(self):
+        values = [0.1] * 99 + [1.0]
+        assert ace(values, 1.0) == pytest.approx(100.0)
+        assert ace(values, 100.0) == pytest.approx((99 * 0.1 + 1.0) / 100 * 100)
+
+    def test_ace_empty(self):
+        assert ace([], 1.0) == 0.0
+        assert ace4([]) == 0.0
+
+    def test_ace_invalid_percent(self):
+        with pytest.raises(ValueError):
+            ace([0.5], 0.0)
+        with pytest.raises(ValueError):
+            ace([0.5], 150.0)
+
+    def test_ace4_is_average_of_four(self):
+        values = list(np.linspace(0, 1, 1000))
+        expected = np.mean([ace(values, p) for p in (0.5, 1.0, 2.0, 5.0)])
+        assert ace4(values) == pytest.approx(expected)
+
+    @given(st.lists(st.floats(0, 2), min_size=1, max_size=300))
+    def test_ace_monotone_in_percentile(self, values):
+        # A smaller (more critical) percentile can never have lower average
+        # congestion than a larger one.
+        assert ace(values, 0.5) >= ace(values, 5.0) - 1e-9
+
+
+class TestCongestionMap:
+    def test_usage_add_remove_roundtrip(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        edges = [0, 1, 2, 2]
+        cmap.add_usage(edges)
+        assert cmap.usage[2] == pytest.approx(2 * small_graph.edge_base_cost[2])
+        cmap.remove_usage(edges)
+        assert np.all(cmap.usage == 0)
+
+    def test_remove_more_than_added_raises(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        cmap.add_usage([0])
+        with pytest.raises(ValueError):
+            cmap.remove_usage([0, 0])
+
+    def test_explicit_amount(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        cmap.add_usage([5], amount=3.0)
+        assert cmap.usage[5] == pytest.approx(3.0)
+
+    def test_reset(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        cmap.add_usage(range(10))
+        cmap.reset()
+        assert np.all(cmap.usage == 0)
+
+    def test_overflow(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        assert cmap.overflow() == 0.0
+        capacity = small_graph.edge_capacity[0]
+        cmap.add_usage([0], amount=capacity + 2.5)
+        assert cmap.overflow() == pytest.approx(2.5)
+
+    def test_edge_costs_grow_with_congestion(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        base = cmap.edge_costs()
+        assert np.allclose(base, small_graph.edge_base_cost)
+        cmap.add_usage([0], amount=small_graph.edge_capacity[0])
+        priced = cmap.edge_costs()
+        assert priced[0] > base[0]
+        assert priced[1] == pytest.approx(base[1])
+
+    def test_edge_costs_with_prices(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        prices = np.ones(small_graph.num_edges)
+        prices[3] = 5.0
+        priced = cmap.edge_costs(prices)
+        assert priced[3] == pytest.approx(5.0 * small_graph.edge_base_cost[3])
+
+    def test_edge_costs_wrong_shape(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        with pytest.raises(ValueError):
+            cmap.edge_costs(np.ones(3))
+
+    def test_wire_congestion_excludes_vias(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        assert len(cmap.wire_congestion()) == int(np.sum(~small_graph.edge_is_via))
+
+    def test_ace4_on_map(self, small_graph):
+        cmap = CongestionMap(small_graph)
+        assert cmap.ace4() == 0.0
+        routing_edges = np.where(~small_graph.edge_is_via)[0][:50]
+        for e in routing_edges:
+            cmap.add_usage([e], amount=small_graph.edge_capacity[e])
+        assert cmap.ace4() > 0.0
+        assert cmap.ace(0.5) >= cmap.ace(5.0)

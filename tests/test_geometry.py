@@ -1,0 +1,107 @@
+"""Tests for repro.grid.geometry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.geometry import (
+    GridPoint,
+    bounding_box,
+    bounding_box_half_perimeter,
+    hanan_grid,
+    l1_distance,
+    median_point,
+    planar_l1,
+)
+
+
+class TestGridPoint:
+    def test_planar_projection(self):
+        p = GridPoint(3, 5, 2)
+        assert p.planar == (3, 5)
+
+    def test_with_layer(self):
+        p = GridPoint(3, 5, 2)
+        q = p.with_layer(7)
+        assert q == GridPoint(3, 5, 7)
+        assert p.layer == 2
+
+    def test_default_layer_is_zero(self):
+        assert GridPoint(1, 2).layer == 0
+
+    def test_ordering_and_hash(self):
+        assert GridPoint(1, 2, 0) < GridPoint(2, 0, 0)
+        assert len({GridPoint(1, 1, 1), GridPoint(1, 1, 1)}) == 1
+
+
+class TestDistances:
+    def test_l1_distance_ignores_layer(self):
+        assert l1_distance(GridPoint(0, 0, 0), GridPoint(3, 4, 3)) == 7
+
+    def test_l1_distance_zero(self):
+        p = GridPoint(5, 5, 1)
+        assert l1_distance(p, p) == 0
+
+    def test_planar_l1(self):
+        assert planar_l1((0, 0), (2, 9)) == 11
+
+    @given(
+        st.integers(-50, 50), st.integers(-50, 50),
+        st.integers(-50, 50), st.integers(-50, 50),
+    )
+    def test_l1_symmetry(self, ax, ay, bx, by):
+        a, b = GridPoint(ax, ay), GridPoint(bx, by)
+        assert l1_distance(a, b) == l1_distance(b, a)
+        assert l1_distance(a, b) >= 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=1, max_size=12
+        )
+    )
+    def test_median_minimises_total_l1(self, coords):
+        points = [GridPoint(x, y) for x, y in coords]
+        mx, my = median_point(points)
+
+        def total(px, py):
+            return sum(abs(px - p.x) + abs(py - p.y) for p in points)
+
+        best = total(mx, my)
+        # The median must be at least as good as every terminal position.
+        for p in points:
+            assert best <= total(p.x, p.y)
+
+
+class TestBoundingBox:
+    def test_bounding_box(self):
+        points = [GridPoint(1, 5), GridPoint(4, 2), GridPoint(0, 3)]
+        assert bounding_box(points) == (0, 2, 4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_half_perimeter(self):
+        points = [GridPoint(1, 5), GridPoint(4, 2)]
+        assert bounding_box_half_perimeter(points) == 6
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_point([])
+
+
+class TestHananGrid:
+    def test_hanan_grid_size(self):
+        points = [GridPoint(0, 0), GridPoint(2, 3), GridPoint(5, 1)]
+        grid = hanan_grid(points)
+        assert len(grid) == 9
+        assert (0, 3) in grid and (5, 0) in grid
+
+    def test_hanan_grid_contains_terminals(self):
+        points = [GridPoint(1, 1), GridPoint(4, 7)]
+        grid = hanan_grid(points)
+        for p in points:
+            assert p.planar in grid
+
+    def test_hanan_grid_duplicates_collapse(self):
+        points = [GridPoint(2, 2), GridPoint(2, 2)]
+        assert hanan_grid(points) == [(2, 2)]

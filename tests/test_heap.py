@@ -1,0 +1,173 @@
+"""Tests for the addressable and two-level heaps."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heap import AddressableBinaryHeap, TwoLevelHeap
+
+
+class TestAddressableBinaryHeap:
+    def test_empty_behaviour(self):
+        heap = AddressableBinaryHeap()
+        assert len(heap) == 0
+        assert not heap
+        assert heap.min_key() == float("inf")
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_push_pop_order(self):
+        heap = AddressableBinaryHeap()
+        for item, key in [("a", 3.0), ("b", 1.0), ("c", 2.0)]:
+            heap.push(item, key)
+        assert heap.pop() == (1.0, "b")
+        assert heap.pop() == (2.0, "c")
+        assert heap.pop() == (3.0, "a")
+
+    def test_decrease_key(self):
+        heap = AddressableBinaryHeap()
+        heap.push("x", 10.0)
+        assert heap.push("x", 4.0) is True
+        assert heap.key_of("x") == 4.0
+        assert len(heap) == 1
+        assert heap.pop() == (4.0, "x")
+
+    def test_increase_key_ignored(self):
+        heap = AddressableBinaryHeap()
+        heap.push("x", 4.0)
+        assert heap.push("x", 10.0) is False
+        assert heap.key_of("x") == 4.0
+
+    def test_contains_and_remove(self):
+        heap = AddressableBinaryHeap()
+        heap.push(1, 1.0)
+        heap.push(2, 2.0)
+        assert 1 in heap
+        heap.remove(1)
+        assert 1 not in heap
+        assert heap.pop() == (2.0, 2)
+        heap.remove(42)  # removing a missing item is a no-op
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableBinaryHeap()
+        heap.push("a", 5.0)
+        assert heap.peek() == (5.0, "a")
+        assert len(heap) == 1
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.floats(0, 100)), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_reference_heap(self, operations):
+        """Pushing with decrease-key then draining yields sorted unique items
+        with their minimum keys."""
+        heap = AddressableBinaryHeap()
+        best = {}
+        for item, key in operations:
+            heap.push(item, key)
+            if item not in best or key < best[item]:
+                best[item] = key
+        drained = []
+        while heap:
+            drained.append(heap.pop())
+        assert sorted(k for k, _ in drained) == [k for k, _ in drained]
+        assert {item: key for key, item in drained} == pytest.approx(best)
+
+    def test_random_stress_against_heapq(self):
+        rng = random.Random(7)
+        heap = AddressableBinaryHeap()
+        mirror = []
+        alive = {}
+        for step in range(500):
+            op = rng.random()
+            if op < 0.6:
+                item = rng.randrange(100)
+                key = rng.uniform(0, 100)
+                heap.push(item, key)
+                if item not in alive or key < alive[item]:
+                    alive[item] = key
+            elif heap:
+                key, item = heap.pop()
+                assert key == pytest.approx(min(alive.values()))
+                assert alive[item] == pytest.approx(key)
+                del alive[item]
+        while heap:
+            key, item = heap.pop()
+            assert alive.pop(item) == pytest.approx(key)
+        assert not alive
+
+
+class TestTwoLevelHeap:
+    def test_empty(self):
+        heap = TwoLevelHeap()
+        assert not heap
+        assert heap.min_key() == float("inf")
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_global_extraction_order(self):
+        heap = TwoLevelHeap()
+        heap.push("s1", "a", 5.0)
+        heap.push("s2", "b", 3.0)
+        heap.push("s1", "c", 1.0)
+        heap.push("s3", "d", 4.0)
+        order = [heap.pop() for _ in range(4)]
+        assert [key for key, _, _ in order] == [1.0, 3.0, 4.0, 5.0]
+        assert order[0][1:] == ("s1", "c")
+
+    def test_decrease_key_within_search(self):
+        heap = TwoLevelHeap()
+        heap.push("s", "x", 9.0)
+        heap.push("s", "x", 2.0)
+        assert len(heap) == 1
+        assert heap.pop() == (2.0, "s", "x")
+
+    def test_remove_search_drops_items(self):
+        heap = TwoLevelHeap()
+        heap.push("s1", "a", 1.0)
+        heap.push("s2", "b", 2.0)
+        heap.remove_search("s1")
+        assert len(heap) == 1
+        assert heap.pop() == (2.0, "s2", "b")
+
+    def test_min_key_tracks_minimum(self):
+        heap = TwoLevelHeap()
+        heap.push("a", 1, 7.0)
+        assert heap.min_key() == 7.0
+        heap.push("b", 2, 3.0)
+        assert heap.min_key() == 3.0
+        heap.pop()
+        assert heap.min_key() == 7.0
+
+    def test_add_and_remove_unknown_search(self):
+        heap = TwoLevelHeap()
+        heap.add_search("s")
+        heap.remove_search("unknown")
+        assert not heap
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 30), st.floats(0, 100)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_extraction_matches_flat_heap(self, operations):
+        """The two-level heap yields globally non-decreasing keys matching a
+        flat decrease-key heap over (search, item) pairs."""
+        two_level = TwoLevelHeap()
+        flat = AddressableBinaryHeap()
+        for search, item, key in operations:
+            two_level.push(search, item, key)
+            flat.push((search, item), key)
+        keys_two_level = []
+        while two_level:
+            key, _, _ = two_level.pop()
+            keys_two_level.append(key)
+        keys_flat = []
+        while flat:
+            key, _ = flat.pop()
+            keys_flat.append(key)
+        assert keys_two_level == pytest.approx(keys_flat)

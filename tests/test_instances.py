@@ -1,0 +1,118 @@
+"""Tests for the synthetic netlist / instance generators and the chip suite."""
+
+import pytest
+
+from repro.core.bifurcation import BifurcationModel
+from repro.grid.graph import build_grid_graph
+from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip, chip_table
+from repro.instances.generator import (
+    DEFAULT_SIZE_DISTRIBUTION,
+    NetlistGeneratorConfig,
+    generate_netlist,
+    generate_steiner_instances,
+)
+
+
+class TestNetlistGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NetlistGeneratorConfig(num_nets=0)
+        with pytest.raises(ValueError):
+            NetlistGeneratorConfig(size_distribution=((1, 2, 0.5),))
+        with pytest.raises(ValueError):
+            NetlistGeneratorConfig(stage_probability=1.5)
+
+    def test_generates_requested_nets(self, small_graph):
+        netlist = generate_netlist(small_graph, NetlistGeneratorConfig(num_nets=25), seed=1)
+        assert netlist.num_nets == 25
+        netlist.validate_on_graph(small_graph)
+
+    def test_deterministic_given_seed(self, small_graph):
+        a = generate_netlist(small_graph, NetlistGeneratorConfig(num_nets=15), seed=3)
+        b = generate_netlist(small_graph, NetlistGeneratorConfig(num_nets=15), seed=3)
+        assert [n.num_sinks for n in a.nets] == [n.num_sinks for n in b.nets]
+        assert a.clock_period == pytest.approx(b.clock_period)
+        c = generate_netlist(small_graph, NetlistGeneratorConfig(num_nets=15), seed=4)
+        assert [n.num_sinks for n in a.nets] != [n.num_sinks for n in c.nets]
+
+    def test_stages_form_dag(self, small_graph):
+        netlist = generate_netlist(small_graph, NetlistGeneratorConfig(num_nets=30), seed=2)
+        for stage in netlist.stages:
+            assert stage.to_net > stage.from_net
+        netlist.timing_graph().topological_order()
+
+    def test_clock_period_positive_and_overridable(self, small_graph):
+        netlist = generate_netlist(small_graph, NetlistGeneratorConfig(num_nets=10), seed=5)
+        assert netlist.clock_period > 0
+        fixed = generate_netlist(
+            small_graph,
+            NetlistGeneratorConfig(num_nets=10, clock_period=123.0),
+            seed=5,
+        )
+        assert fixed.clock_period == 123.0
+
+    def test_size_distribution_respected(self):
+        graph = build_grid_graph(12, 12, 4)
+        config = NetlistGeneratorConfig(
+            num_nets=200, size_distribution=((7, 7, 1.0),)
+        )
+        netlist = generate_netlist(graph, config, seed=1)
+        assert all(net.num_sinks == 7 for net in netlist.nets)
+
+    def test_default_distribution_sums_to_one(self):
+        assert sum(p for _, _, p in DEFAULT_SIZE_DISTRIBUTION) == pytest.approx(1.0)
+
+
+class TestSteinerInstanceGenerator:
+    def test_counts_and_validity(self, small_graph):
+        instances = generate_steiner_instances(small_graph, 12, dbif=1.0, seed=2)
+        assert len(instances) == 12
+        for inst in instances:
+            assert inst.num_sinks >= 3
+            assert len(inst.weights) == inst.num_sinks
+            assert inst.bifurcation.dbif == 1.0
+
+    def test_dbif_zero(self, small_graph):
+        instances = generate_steiner_instances(small_graph, 3, dbif=0.0, seed=1)
+        assert all(not inst.bifurcation.enabled for inst in instances)
+
+    def test_costs_at_least_base(self, small_graph):
+        instances = generate_steiner_instances(small_graph, 5, seed=3)
+        base = small_graph.base_cost_array()
+        for inst in instances:
+            assert (inst.cost >= base - 1e-12).all()
+
+    def test_deterministic(self, small_graph):
+        a = generate_steiner_instances(small_graph, 6, seed=9)
+        b = generate_steiner_instances(small_graph, 6, seed=9)
+        assert [i.sinks for i in a] == [i.sinks for i in b]
+        assert [i.weights for i in a] == [i.weights for i in b]
+
+
+class TestChipSuite:
+    def test_suite_matches_paper_structure(self):
+        assert len(CHIP_SUITE) == 8
+        assert [spec.name for spec in CHIP_SUITE] == [f"c{i}" for i in range(1, 9)]
+        # Layer counts follow paper Table III: between 7 and 15.
+        for spec in CHIP_SUITE:
+            assert 7 <= spec.num_layers <= 15
+        # Net counts increase from c1 to c8.
+        nets = [spec.num_nets for spec in CHIP_SUITE]
+        assert nets == sorted(nets)
+
+    def test_build_chip(self):
+        graph, netlist = build_chip(CHIP_SUITE[0])
+        assert graph.num_layers == CHIP_SUITE[0].num_layers
+        assert netlist.num_nets == CHIP_SUITE[0].num_nets
+        netlist.validate_on_graph(graph)
+
+    def test_scaled(self):
+        spec = CHIP_SUITE[3].scaled(0.5)
+        assert spec.num_nets == round(CHIP_SUITE[3].num_nets * 0.5)
+        assert spec.scaled(0.0).num_nets == 10
+
+    def test_chip_table_rows(self):
+        rows = chip_table()
+        assert len(rows) == 8
+        assert rows[0]["chip"] == "c1"
+        assert all({"chip", "nets", "layers", "grid"} <= set(row) for row in rows)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across packages."""
+
+import random
+
+import pytest
+
+from repro import (
+    BifurcationModel,
+    CostDistanceSolver,
+    GlobalRouter,
+    GlobalRouterConfig,
+    PrimDijkstraOracle,
+    RectilinearSteinerOracle,
+    ShallowLightOracle,
+    SteinerInstance,
+    build_grid_graph,
+    evaluate_tree,
+    generate_steiner_instances,
+)
+from repro.analysis.experiments import run_instance_comparison
+from repro.instances.chips import ChipSpec, build_chip
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_flow(self):
+        """The README quickstart, as a test."""
+        graph = build_grid_graph(12, 12, num_layers=6)
+        root = graph.node_index(1, 1, 0)
+        sinks = [graph.node_index(9, 2, 0), graph.node_index(4, 10, 0),
+                 graph.node_index(10, 9, 0)]
+        weights = [1.0, 0.3, 0.6]
+        instance = SteinerInstance(
+            graph, root, sinks, weights,
+            cost=graph.base_cost_array(), delay=graph.delay_array(),
+            bifurcation=BifurcationModel(dbif=3.0, eta=0.25),
+        )
+        tree = CostDistanceSolver().build(instance, random.Random(0))
+        tree.validate()
+        breakdown = evaluate_tree(instance, tree)
+        assert breakdown.total > 0
+        assert len(breakdown.sink_delays) == 3
+
+
+class TestCrossMethodComparison:
+    def test_all_methods_agree_on_two_pin_nets(self):
+        """For a single sink every method embeds an optimal path, so all four
+        objectives coincide."""
+        graph = build_grid_graph(12, 12, 6)
+        root = graph.node_index(2, 2, 0)
+        sink = graph.node_index(9, 8, 0)
+        instance = SteinerInstance(
+            graph, root, [sink], [0.7],
+            graph.base_cost_array(), graph.delay_array(),
+        )
+        totals = []
+        for oracle in (RectilinearSteinerOracle(), ShallowLightOracle(),
+                       PrimDijkstraOracle(), CostDistanceSolver()):
+            tree = oracle.build(instance, random.Random(0))
+            totals.append(evaluate_tree(instance, tree).total)
+        assert max(totals) <= min(totals) * 1.02
+
+    def test_cd_competitive_on_large_instances(self):
+        """Paper Tables I/II shape: on instances with many sinks the
+        cost-distance algorithm is competitive with the best baseline."""
+        graph = build_grid_graph(14, 14, 6)
+        instances = generate_steiner_instances(
+            graph, 6, dbif=2.0, seed=17,
+            size_distribution=((15, 29, 0.5), (30, 45, 0.5)),
+        )
+        rows = run_instance_comparison(instances)
+        all_row = rows[-1]
+        cd = all_row.average_increase["CD"]
+        others = [all_row.average_increase[m] for m in ("L1", "SL", "PD")]
+        # CD within a small margin of the best baseline on average.
+        assert cd <= min(others) + 5.0
+
+
+class TestEndToEndRouting:
+    @pytest.mark.parametrize("dbif", [0.0, None])
+    def test_router_with_cd_and_baseline(self, dbif):
+        spec = ChipSpec("itest", 10, 10, 6, 12, seed=21)
+        graph, netlist = build_chip(spec)
+        results = {}
+        for oracle in (CostDistanceSolver(), RectilinearSteinerOracle()):
+            router = GlobalRouter(
+                graph, netlist, oracle,
+                GlobalRouterConfig(num_rounds=2, dbif=dbif),
+            )
+            results[oracle.name] = router.run()
+        for result in results.values():
+            assert result.wire_length > 0
+            assert result.via_count > 0
+            assert result.walltime_seconds > 0
+        # Both methods route the same netlist.
+        assert results["CD"].num_nets == results["L1"].num_nets
+
+    def test_bifurcation_penalties_decrease_slack(self):
+        """Paper observation: penalties increase delays, decreasing slacks."""
+        spec = ChipSpec("itest2", 10, 10, 6, 10, seed=22)
+        graph, netlist = build_chip(spec)
+        slacks = {}
+        for label, dbif in (("off", 0.0), ("on", None)):
+            router = GlobalRouter(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(num_rounds=1, dbif=dbif),
+            )
+            slacks[label] = router.run().worst_slack
+        assert slacks["on"] <= slacks["off"] + 1e-6

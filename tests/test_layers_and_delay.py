@@ -1,0 +1,175 @@
+"""Tests for the layer stack, the repeater-chain model and the delay model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.grid.layers import Layer, LayerStack, WireType, default_layer_stack
+from repro.timing.delay import LinearDelayModel
+from repro.timing.repeater import BufferParameters, RepeaterChainModel
+
+
+class TestWireType:
+    def test_default_wire_type(self):
+        wt = WireType("1x")
+        assert wt.width_factor == 1.0
+        assert wt.resistance_scale() == 1.0
+
+    def test_wide_wire_lower_resistance(self):
+        wide = WireType("2x", width_factor=2.0, spacing_factor=1.5)
+        assert wide.resistance_scale() == pytest.approx(0.5)
+        assert wide.track_usage > WireType("1x").track_usage
+
+
+class TestLayer:
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Layer(0, "M1", "X", 1.0, 1.0, 4)
+
+    def test_non_positive_rc_rejected(self):
+        with pytest.raises(ValueError):
+            Layer(0, "M1", "H", 0.0, 1.0, 4)
+
+    def test_wire_rc_scaling(self):
+        layer = Layer(0, "M1", "H", 10.0, 2.0, 4,
+                      wire_types=(WireType("1x"), WireType("2x", 2.0, 1.5, 1.2)))
+        r1, c1 = layer.wire_rc(layer.wire_types[0])
+        r2, c2 = layer.wire_rc(layer.wire_types[1])
+        assert r2 == pytest.approx(r1 / 2)
+        assert c2 == pytest.approx(c1 * 1.2)
+
+
+class TestLayerStack:
+    def test_default_stack_sizes(self):
+        for n in (1, 7, 8, 9, 15):
+            stack = default_layer_stack(n)
+            assert stack.num_layers == n
+
+    def test_default_stack_out_of_range(self):
+        with pytest.raises(ValueError):
+            default_layer_stack(16)
+        with pytest.raises(ValueError):
+            default_layer_stack(0)
+
+    def test_directions_alternate(self):
+        stack = default_layer_stack(8)
+        directions = [layer.direction for layer in stack]
+        assert all(d in ("H", "V") for d in directions)
+        assert directions[0] != directions[1]
+
+    def test_upper_layers_less_resistive(self):
+        stack = default_layer_stack(15)
+        assert stack[14].unit_resistance < stack[0].unit_resistance / 5
+
+    def test_layer_by_name(self):
+        stack = default_layer_stack(5)
+        assert stack.layer_by_name("M3").index == 2
+        with pytest.raises(KeyError):
+            stack.layer_by_name("M99")
+
+    def test_truncated(self):
+        stack = default_layer_stack(15)
+        assert stack.truncated(7).num_layers == 7
+        with pytest.raises(ValueError):
+            stack.truncated(0)
+
+    def test_index_consistency_enforced(self):
+        layers = default_layer_stack(3).layers
+        with pytest.raises(ValueError):
+            LayerStack([layers[1], layers[0], layers[2]])
+
+    def test_wire_options_counts(self):
+        stack = default_layer_stack(15)
+        options = stack.wire_options()
+        # 4 thin layers x1 + 8 mid layers x2 + 3 thick layers x3.
+        assert len(options) == 4 * 1 + 8 * 2 + 3 * 3
+
+
+class TestRepeaterChain:
+    def test_invalid_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            BufferParameters(drive_resistance=0.0)
+
+    def test_optimal_spacing_minimises_per_unit_delay(self):
+        stack = default_layer_stack(8)
+        chain = RepeaterChainModel()
+        layer = stack[2]
+        wt = layer.wire_types[0]
+        spacing = chain.optimal_spacing(layer, wt)
+        best = chain.segment_delay(layer, wt, spacing) / spacing
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            other = spacing * factor
+            assert best <= chain.segment_delay(layer, wt, other) / other + 1e-9
+
+    def test_delay_per_tile_decreases_on_upper_layers(self):
+        stack = default_layer_stack(15)
+        chain = RepeaterChainModel()
+        low = chain.delay_per_tile(stack[0], stack[0].wire_types[0])
+        high = chain.delay_per_tile(stack[14], stack[14].wire_types[0])
+        assert high < low
+
+    def test_wide_wire_not_slower_on_intermediate_layer(self):
+        # On intermediate layers the wire resistance still dominates, so the
+        # double-width wire type is at least as fast as the minimum width one.
+        stack = default_layer_stack(15)
+        chain = RepeaterChainModel()
+        layer = stack[5]
+        d1 = chain.delay_per_tile(layer, layer.wire_types[0])
+        d2 = chain.delay_per_tile(layer, layer.wire_types[1])
+        assert d2 <= d1 * 1.001
+
+    def test_bifurcation_penalty_positive_and_minimal(self):
+        stack = default_layer_stack(9)
+        chain = RepeaterChainModel()
+        dbif = chain.bifurcation_penalty(stack)
+        assert dbif > 0
+        for layer, wt in stack.wire_options():
+            assert dbif <= chain.branch_delay_increase(layer, wt) + 1e-12
+
+    def test_fastest_option_consistent(self):
+        stack = default_layer_stack(12)
+        chain = RepeaterChainModel()
+        layer, wt, value = chain.fastest_option(stack)
+        assert value == pytest.approx(chain.delay_per_tile(layer, wt))
+
+    def test_negative_length_rejected(self):
+        stack = default_layer_stack(3)
+        chain = RepeaterChainModel()
+        with pytest.raises(ValueError):
+            chain.segment_delay(stack[0], stack[0].wire_types[0], -1.0)
+
+
+class TestLinearDelayModel:
+    def test_wire_delay_scales_with_length(self):
+        model = LinearDelayModel(default_layer_stack(8))
+        d1 = model.wire_delay(3, "1x", 1.0)
+        d5 = model.wire_delay(3, "1x", 5.0)
+        assert d5 == pytest.approx(5 * d1)
+
+    def test_unknown_combination_raises(self):
+        model = LinearDelayModel(default_layer_stack(8))
+        with pytest.raises(KeyError):
+            model.wire_delay(0, "4x", 1.0)
+        with pytest.raises(KeyError):
+            model.via_delay(99)
+
+    def test_fastest_delay_is_global_minimum(self):
+        model = LinearDelayModel(default_layer_stack(15))
+        fastest = model.fastest_delay_per_tile()
+        for layer in model.stack:
+            for wt in layer.wire_types:
+                assert fastest <= model.wire_delay(layer.index, wt.name) + 1e-12
+
+    def test_bifurcation_penalty_matches_chain(self):
+        stack = default_layer_stack(9)
+        model = LinearDelayModel(stack)
+        assert model.bifurcation_penalty() == pytest.approx(
+            RepeaterChainModel().bifurcation_penalty(stack)
+        )
+
+    @given(st.integers(1, 15))
+    def test_via_delay_positive_every_layer(self, n):
+        model = LinearDelayModel(default_layer_stack(n))
+        for layer in model.stack:
+            assert model.via_delay(layer.index) > 0

@@ -1,0 +1,162 @@
+"""Tests for the Dijkstra helpers and the future-cost estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.future_cost import FutureCostEstimator
+from repro.core.shortest_path import dijkstra, multi_source_distances, shortest_path_edges
+from repro.grid.geometry import l1_distance
+
+
+class TestDijkstra:
+    def test_single_source_distances(self, small_graph):
+        g = small_graph
+        lengths = [1.0] * g.num_edges
+        source = g.node_index(0, 0, 0)
+        dist, _ = dijkstra(g, lengths, {source: 0.0})
+        assert dist[source] == 0.0
+        # Unit lengths: distance equals the minimum number of edges (L1 within
+        # a layer needs direction changes via other layers, so >= L1).
+        target = g.node_index(3, 0, 0)
+        assert dist[target] >= 3.0
+
+    def test_respects_edge_lengths(self, small_graph):
+        g = small_graph
+        source = g.node_index(0, 0, 0)
+        target = g.node_index(5, 0, 0)
+        cheap = np.zeros(g.num_edges)
+        dist, _ = dijkstra(g, cheap, {source: 0.0}, targets=[target])
+        assert dist[target] == 0.0
+
+    def test_early_termination_with_targets(self, small_graph):
+        g = small_graph
+        source = g.node_index(0, 0, 0)
+        target = g.node_index(1, 0, 0)
+        dist, _ = dijkstra(g, g.base_cost_array(), {source: 0.0}, targets=[target])
+        # Early exit: far away corners should not all be labeled.
+        assert len(dist) < g.num_nodes
+
+    def test_multi_source_takes_minimum(self, small_graph):
+        g = small_graph
+        a = g.node_index(0, 0, 0)
+        b = g.node_index(9, 9, 0)
+        lengths = g.base_cost_array()
+        dist, _ = dijkstra(g, lengths, {a: 0.0, b: 5.0})
+        dist_a, _ = dijkstra(g, lengths, {a: 0.0})
+        dist_b, _ = dijkstra(g, lengths, {b: 5.0})
+        for node in [g.node_index(4, 4, 1), g.node_index(9, 0, 2)]:
+            assert dist[node] == pytest.approx(min(dist_a[node], dist_b[node]))
+
+    def test_negative_source_distance_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            dijkstra(small_graph, small_graph.base_cost_array(), {0: -1.0})
+
+    def test_backtracking_path(self, small_graph):
+        g = small_graph
+        source = g.node_index(0, 0, 0)
+        target = g.node_index(4, 3, 1)
+        lengths = g.base_cost_array()
+        dist, parent = dijkstra(g, lengths, {source: 0.0}, targets=[target])
+        path = shortest_path_edges(g, parent, {source}, target)
+        assert sum(lengths[e] for e in path) == pytest.approx(dist[target])
+        ends = set(g.path_endpoints(path))
+        assert ends == {source, target}
+
+    def test_backtracking_unreached_raises(self, small_graph):
+        g = small_graph
+        source = g.node_index(0, 0, 0)
+        blocked = lambda node: node == source
+        dist, parent = dijkstra(g, g.base_cost_array(), {source: 0.0}, node_filter=blocked)
+        with pytest.raises(ValueError):
+            shortest_path_edges(g, parent, {source}, g.node_index(5, 5, 0))
+
+    def test_node_filter_restricts_search(self, small_graph):
+        g = small_graph
+        source = g.node_index(0, 0, 0)
+
+        def window(node):
+            x, y = g.node_planar(node)
+            return x <= 2 and y <= 2
+
+        dist, _ = dijkstra(g, g.base_cost_array(), {source: 0.0}, node_filter=window)
+        for node in dist:
+            x, y = g.node_planar(node)
+            assert x <= 2 and y <= 2
+
+    def test_astar_with_admissible_heuristic_matches_dijkstra(self, small_graph):
+        g = small_graph
+        source = g.node_index(0, 0, 0)
+        target = g.node_index(7, 6, 0)
+        lengths = g.base_cost_array()
+        min_cost = float(np.min(lengths[~g.edge_is_via]))
+        tx, ty = g.node_planar(target)
+
+        def heuristic(node):
+            x, y = g.node_planar(node)
+            return (abs(x - tx) + abs(y - ty)) * min_cost
+
+        plain, _ = dijkstra(g, lengths, {source: 0.0}, targets=[target])
+        astar, _ = dijkstra(g, lengths, {source: 0.0}, targets=[target], future_cost=heuristic)
+        assert astar[target] == pytest.approx(plain[target])
+
+    def test_multi_source_distances_dense(self, small_graph):
+        g = small_graph
+        dist = multi_source_distances(g, g.base_cost_array(), [0])
+        assert dist.shape == (g.num_nodes,)
+        assert dist[0] == 0.0
+        assert np.all(np.isfinite(dist))
+
+
+class TestFutureCostEstimator:
+    def test_bounds_are_admissible(self, small_graph):
+        g = small_graph
+        estimator = FutureCostEstimator(g, num_landmarks=4, seed=1)
+        lengths = g.base_cost_array()
+        source = g.node_index(1, 1, 0)
+        dist, _ = dijkstra(g, lengths, {source: 0.0})
+        for target in [g.node_index(8, 8, 3), g.node_index(0, 9, 1), g.node_index(5, 2, 2)]:
+            assert estimator.cost_lower_bound_between(source, target) <= dist[target] + 1e-9
+
+    def test_delay_bound_admissible(self, small_graph):
+        g = small_graph
+        estimator = FutureCostEstimator(g, num_landmarks=0)
+        delays = g.delay_array()
+        source = g.node_index(0, 0, 0)
+        dist, _ = dijkstra(g, delays, {source: 0.0})
+        for target in [g.node_index(9, 9, 0), g.node_index(4, 6, 2)]:
+            assert estimator.delay_lower_bound(source, target) <= dist[target] + 1e-9
+
+    def test_combined_bound(self, small_graph):
+        estimator = FutureCostEstimator(small_graph, num_landmarks=0)
+        a = small_graph.node_index(0, 0, 0)
+        b = small_graph.node_index(5, 5, 0)
+        combined = estimator.combined_lower_bound(a, b, 2.0)
+        assert combined == pytest.approx(
+            estimator.cost_lower_bound_between(a, b) + 2.0 * estimator.delay_lower_bound(a, b)
+        )
+
+    def test_num_landmarks(self, small_graph):
+        assert FutureCostEstimator(small_graph, num_landmarks=0).num_landmarks == 0
+        assert FutureCostEstimator(small_graph, num_landmarks=5, seed=2).num_landmarks == 5
+
+    def test_nearest_target_l1_exact_and_bbox(self, small_graph):
+        g = small_graph
+        estimator = FutureCostEstimator(g, num_landmarks=0)
+        node = g.node_index(0, 0, 0)
+        targets = [g.node_index(3, 4, 0), g.node_index(8, 1, 0)]
+        exact = estimator.nearest_target_l1(node, targets)
+        assert exact == 7
+        # Bounding box bound is a lower bound on the exact distance.
+        many_targets = [g.node_index(x, 5, 0) for x in range(10)]
+        bbox = estimator.nearest_target_l1(node, many_targets, exact_limit=2)
+        true_min = min(
+            l1_distance(g.node_point(node), g.node_point(t)) for t in many_targets
+        )
+        assert bbox <= true_min
+
+    def test_multi_target_potential_zero_at_target(self, small_graph):
+        g = small_graph
+        estimator = FutureCostEstimator(g, num_landmarks=0)
+        target = g.node_index(4, 4, 0)
+        assert estimator.multi_target_potential(target, [target], 1.0) == 0.0
+        assert estimator.multi_target_potential(target, [], 1.0) == 0.0
