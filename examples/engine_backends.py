@@ -1,0 +1,66 @@
+"""Batch-routing engine backends: serial vs. process vs. cached.
+
+Routes one chip of the synthetic suite three times through the engine --
+with the in-process serial backend, with the multiprocessing backend, and
+with the incremental re-route cache -- and shows that all three reproduce
+identical metrics while their walltimes differ.
+
+Run with::
+
+    python examples/engine_backends.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (
+    CostDistanceSolver,
+    EngineConfig,
+    GlobalRouter,
+    GlobalRouterConfig,
+)
+from repro.instances.chips import CHIP_SUITE, build_chip
+from repro.router.metrics import format_result_row
+
+
+def main() -> None:
+    spec = CHIP_SUITE[0].scaled(0.6)
+    modes = (
+        ("serial", EngineConfig(backend="serial")),
+        ("process", EngineConfig(backend="process")),
+        # Default "bbox" cache scope: signatures digest costs over each
+        # net's bounding region, so nets far from any price change still
+        # hit.  (cache_scope="global" instead *guarantees* serial parity,
+        # at the price of invalidating every net on any cost change.)
+        ("cached", EngineConfig(backend="serial", reroute_cache=True)),
+    )
+
+    print(f"chip {spec.name} ({spec.num_nets} nets), 3 resource-sharing rounds\n")
+    for mode, engine in modes:
+        graph, netlist = build_chip(spec)
+        router = GlobalRouter(
+            graph,
+            netlist,
+            CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=3, engine=engine),
+        )
+        result = router.run()
+        print(f"{mode:>8}: {format_result_row(result)}")
+        if router.engine.cache is not None:
+            stats = router.engine.cache.stats
+            print(f"{'':>8}  cache hits {stats.hits}/{stats.lookups} "
+                  f"({100.0 * stats.hit_rate:.1f}%)")
+        batches = router.engine.round_reports[0].num_batches
+        print(f"{'':>8}  {batches} batches/round via "
+              f"{router.engine.config.scheduling!r} scheduling")
+    print("\nSerial and process backends are bit-identical by construction:")
+    print("a net's tree depends only on its instance and its private RNG stream.")
+    print("The bbox-scope cache is a heuristic that matches them in practice;")
+    print("cache_scope='global' (see benchmarks/test_engine_scaling.py) makes")
+    print("the match a guarantee.")
+
+
+if __name__ == "__main__":
+    main()

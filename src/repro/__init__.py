@@ -21,8 +21,21 @@ Typical usage::
     tree = CostDistanceSolver().build(instance)
     print(evaluate_tree(instance, tree).total)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-reproduced tables and figures.
+Nets are routed through the batch-routing engine (:mod:`repro.engine`),
+which schedules them into congestion-snapshot batches, executes each batch
+on a pluggable backend (in-process ``serial`` or ``multiprocessing``-based
+``process``), and can skip unchanged nets in later rip-up rounds via an
+incremental re-route cache::
+
+    from repro import EngineConfig, GlobalRouterConfig
+
+    config = GlobalRouterConfig(
+        engine=EngineConfig(backend="process", reroute_cache=True)
+    )
+
+See ``DESIGN.md`` (repository root) for the package and subsystem
+inventory; the reproduced tables and figures live under
+``benchmarks/results/``.
 """
 
 from repro.core.bifurcation import BifurcationModel
@@ -42,6 +55,16 @@ from repro.baselines.prim_dijkstra import PrimDijkstraOracle
 from repro.baselines.embedding import TopologyEmbedder
 from repro.router.netlist import Net, Netlist, Pin
 from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.engine import (
+    BatchExecutor,
+    EngineConfig,
+    NetScheduler,
+    ProcessExecutor,
+    RerouteCache,
+    RoutingEngine,
+    SerialExecutor,
+    derive_net_rng,
+)
 from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip
 from repro.instances.generator import generate_netlist, generate_steiner_instances
 
@@ -75,6 +98,14 @@ __all__ = [
     "Pin",
     "GlobalRouter",
     "GlobalRouterConfig",
+    "EngineConfig",
+    "RoutingEngine",
+    "NetScheduler",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "RerouteCache",
+    "derive_net_rng",
     "CHIP_SUITE",
     "ChipSpec",
     "build_chip",

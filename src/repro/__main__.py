@@ -1,0 +1,182 @@
+"""Command-line entry point: route one chip of the synthetic suite.
+
+This is the surface a served deployment would wrap: pick a chip, a Steiner
+oracle, and an engine backend, run the timing-constrained global routing
+flow, and print the Table IV/V style result row.
+
+Examples::
+
+    python -m repro --chip c1
+    python -m repro --chip c3 --oracle L1 --rounds 3
+    python -m repro --chip c1 --backend process --workers 4 --cache
+    python -m repro --list-chips
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.baselines.prim_dijkstra import PrimDijkstraOracle
+from repro.baselines.rsmt import RectilinearSteinerOracle
+from repro.baselines.shallow_light import ShallowLightOracle
+from repro.core.cost_distance import CostDistanceSolver
+from repro.core.oracle import SteinerOracle
+from repro.engine.engine import EngineConfig
+from repro.instances.chips import CHIP_SUITE, build_chip, chip_table
+from repro.router.metrics import format_result_row
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+ORACLES = {
+    "CD": CostDistanceSolver,
+    "L1": RectilinearSteinerOracle,
+    "SL": ShallowLightOracle,
+    "PD": PrimDijkstraOracle,
+}
+
+
+def make_oracle(name: str) -> SteinerOracle:
+    """Instantiate a Steiner oracle by its table abbreviation."""
+    try:
+        return ORACLES[name]()
+    except KeyError:
+        raise ValueError(f"unknown oracle {name!r}; choose from {sorted(ORACLES)}")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Timing-constrained global routing of a synthetic chip.",
+    )
+    parser.add_argument(
+        "--chip",
+        default="c1",
+        choices=[spec.name for spec in CHIP_SUITE],
+        help="chip of the synthetic suite (paper Table III analogue)",
+    )
+    parser.add_argument(
+        "--oracle",
+        default="CD",
+        choices=sorted(ORACLES),
+        help="Steiner tree oracle (CD = cost-distance, L1/SL/PD = baselines)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "process"],
+        help="engine executor backend",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for the process backend (default: auto)",
+    )
+    parser.add_argument(
+        "--scheduling",
+        default="window",
+        choices=["window", "bbox"],
+        help="net batching policy",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the incremental re-route cache",
+    )
+    parser.add_argument(
+        "--cache-scope",
+        default="bbox",
+        choices=["bbox", "global"],
+        help=(
+            "re-route cache signature scope: 'bbox' digests costs over each "
+            "net's bounding region (fast, heuristic), 'global' digests the "
+            "full cost vector (guaranteed bit-identical to running without "
+            "--cache)"
+        ),
+    )
+    parser.add_argument(
+        "--rounds", type=_positive_int, default=2, help="resource-sharing rounds"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="routing seed")
+    parser.add_argument(
+        "--net-scale",
+        type=_positive_float,
+        default=1.0,
+        help="scale factor on the chip's net count (e.g. 0.3 for a smoke run)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full result record as JSON instead of a table row",
+    )
+    parser.add_argument(
+        "--list-chips",
+        action="store_true",
+        help="print the chip suite parameters and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_chips:
+        for row in chip_table():
+            print(f"{row['chip']:>4}  nets={row['nets']:<5} layers={row['layers']:<3} grid={row['grid']}")
+        return 0
+
+    spec = next(s for s in CHIP_SUITE if s.name == args.chip)
+    if args.net_scale != 1.0:
+        spec = spec.scaled(args.net_scale)
+    graph, netlist = build_chip(spec)
+    oracle = make_oracle(args.oracle)
+    config = GlobalRouterConfig(
+        num_rounds=args.rounds,
+        seed=args.seed,
+        engine=EngineConfig(
+            backend=args.backend,
+            num_workers=args.workers,
+            scheduling=args.scheduling,
+            reroute_cache=args.cache,
+            cache_scope=args.cache_scope,
+        ),
+    )
+    print(
+        f"routing {spec.name}: {netlist.num_nets} nets on {graph} "
+        f"[oracle={args.oracle} backend={args.backend} scheduling={args.scheduling}"
+        f"{' cache' if args.cache else ''}]",
+        file=sys.stderr,
+    )
+    router = GlobalRouter(graph, netlist, oracle, config)
+    result = router.run()
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=float))
+    else:
+        print(format_result_row(result))
+    if router.engine.cache is not None:
+        stats = router.engine.cache.stats
+        print(
+            f"re-route cache: {stats.hits}/{stats.lookups} hits "
+            f"({100.0 * stats.hit_rate:.1f}%)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

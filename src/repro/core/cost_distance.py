@@ -201,6 +201,12 @@ class CostDistanceSolver(SteinerOracle):
 
     name = "CD"
 
+    #: The searches grow outward from the net's terminals, so the tree
+    #: depends on costs near the net plus the global cost floor (A*
+    #: potentials).  With landmarks (``num_landmarks > 0``) this no longer
+    #: holds -- the engine checks for that separately.
+    region_cache_safe = True
+
     def __init__(self, config: Optional[CostDistanceConfig] = None) -> None:
         self.config = config or CostDistanceConfig()
 

@@ -12,8 +12,10 @@ calls share one code path.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,7 +23,49 @@ from repro.core.bifurcation import BifurcationModel
 from repro.grid.geometry import GridPoint
 from repro.grid.graph import RoutingGraph
 
-__all__ = ["SteinerInstance"]
+__all__ = ["SteinerInstance", "instance_signature"]
+
+
+def instance_signature(
+    root: int,
+    sinks: Sequence[int],
+    weights: Sequence[float],
+    cost: np.ndarray,
+    bifurcation: BifurcationModel,
+    region_edges: Optional[np.ndarray] = None,
+    extras: Sequence[float] = (),
+    cost_digest: Optional[bytes] = None,
+) -> bytes:
+    """A stable digest of everything that determines one net's Steiner tree.
+
+    The digest covers the terminals, the sink delay weights, the bifurcation
+    parameters, and the congestion cost vector -- either in full or, when
+    ``region_edges`` is given, restricted to those edges (plus any scalar
+    ``extras`` such as global cost summaries feeding A* potentials).  Two
+    routing attempts of a net with equal signatures (and equal RNG streams)
+    produce the same tree, which is what the incremental re-route cache of
+    :mod:`repro.engine.cache` exploits to skip unchanged nets.
+
+    ``cost_digest`` is an optional pre-computed digest of the *full* cost
+    vector; passing it lets callers signing many nets against one shared
+    vector hash it once instead of once per net.  It is only consulted when
+    ``region_edges`` is ``None`` (full-vector scope).
+    """
+    hasher = hashlib.sha1()
+    hasher.update(struct.pack("<q", root))
+    hasher.update(np.asarray(list(sinks), dtype=np.int64).tobytes())
+    hasher.update(np.asarray(list(weights), dtype=np.float64).tobytes())
+    hasher.update(struct.pack("<dd?", bifurcation.dbif, bifurcation.eta, bifurcation.enabled))
+    cost = np.ascontiguousarray(cost, dtype=np.float64)
+    if region_edges is not None:
+        hasher.update(np.ascontiguousarray(cost[region_edges]).tobytes())
+    elif cost_digest is not None:
+        hasher.update(cost_digest)
+    else:
+        hasher.update(cost.tobytes())
+    if extras:
+        hasher.update(np.asarray(list(extras), dtype=np.float64).tobytes())
+    return hasher.digest()
 
 
 @dataclass
@@ -104,6 +148,50 @@ class SteinerInstance:
     def terminal_nodes(self) -> List[int]:
         """Root node followed by all sink nodes."""
         return [self.root] + list(self.sinks)
+
+    # --------------------------------------------------------- persistence
+    def signature(
+        self,
+        region_edges: Optional[np.ndarray] = None,
+        extras: Sequence[float] = (),
+    ) -> bytes:
+        """Digest of the tree-determining inputs (see :func:`instance_signature`)."""
+        return instance_signature(
+            self.root,
+            self.sinks,
+            self.weights,
+            self.cost,
+            self.bifurcation,
+            region_edges=region_edges,
+            extras=extras,
+        )
+
+    @classmethod
+    def from_payload(
+        cls,
+        graph: RoutingGraph,
+        payload: Dict[str, object],
+        delay: Optional[np.ndarray] = None,
+    ) -> "SteinerInstance":
+        """Build an instance from a picklable, graph-free payload dict.
+
+        The payload carries the per-net, per-batch data (``root``,
+        ``sinks``, ``weights``, ``cost``, ``bifurcation``, optional
+        ``name``); the routing graph and the graph-static delay vector are
+        supplied by the caller, which lets executor workers hold them as
+        shared read-only state.  The production producer of these dicts is
+        :meth:`repro.engine.executor.NetTask.payload`.
+        """
+        return cls(
+            graph=graph,
+            root=payload["root"],  # type: ignore[arg-type]
+            sinks=list(payload["sinks"]),  # type: ignore[arg-type]
+            weights=list(payload["weights"]),  # type: ignore[arg-type]
+            cost=payload["cost"],  # type: ignore[arg-type]
+            delay=graph.delay_array() if delay is None else delay,
+            bifurcation=payload["bifurcation"],  # type: ignore[arg-type]
+            name=str(payload.get("name", "")),
+        )
 
     # ---------------------------------------------------------- derivation
     def with_bifurcation(self, bifurcation: BifurcationModel) -> "SteinerInstance":

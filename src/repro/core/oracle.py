@@ -26,6 +26,15 @@ class SteinerOracle(abc.ABC):
     #: Short name used in result tables ("CD", "L1", "SL", "PD").
     name: str = "?"
 
+    #: Whether the tree this oracle builds depends (essentially) only on the
+    #: edge costs near the net -- its terminals' bounding region -- plus the
+    #: global cost floor that scales A* potentials.  Only then may the
+    #: engine's re-route cache use its region-digest ("bbox") scope; oracles
+    #: whose construction consults the full cost vector (e.g. global
+    #: shortest-path embeddings) must leave this False so the cache falls
+    #: back to exact full-vector signatures.
+    region_cache_safe: bool = False
+
     @abc.abstractmethod
     def build(
         self, instance: SteinerInstance, rng: Optional[random.Random] = None

@@ -1,0 +1,52 @@
+"""Parallel batch-routing engine.
+
+The execution layer between the resource-sharing router and the Steiner
+oracles:
+
+* :mod:`repro.engine.scheduler` -- partitions each rip-up-and-re-route round
+  into batches of nets that share one congestion snapshot (cost-refresh
+  windows, or conflict-free bounding-box batches).
+* :mod:`repro.engine.executor` -- pluggable batch backends: in-process
+  ``serial`` and ``multiprocessing``-based ``process``, producing
+  bit-identical trees thanks to per-net RNG streams.
+* :mod:`repro.engine.cache` -- the incremental re-route cache that skips
+  nets whose instance signature did not change since their last routing.
+* :mod:`repro.engine.engine` -- the :class:`RoutingEngine` façade the
+  :class:`repro.router.router.GlobalRouter` delegates to, configured by
+  :class:`EngineConfig`.
+* :mod:`repro.engine.rng` -- the stable per-net RNG derivation shared by all
+  backends.
+"""
+
+from repro.engine.cache import CacheStats, RerouteCache
+from repro.engine.engine import EngineConfig, RoundReport, RoutingEngine
+from repro.engine.executor import (
+    EXECUTOR_BACKENDS,
+    BatchExecutor,
+    NetTask,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.rng import NET_STREAM_STRIDE, derive_net_rng, net_stream_seed
+from repro.engine.scheduler import BoundingBox, NetBatch, NetScheduler
+
+__all__ = [
+    "BoundingBox",
+    "NetBatch",
+    "NetScheduler",
+    "NetTask",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
+    "CacheStats",
+    "RerouteCache",
+    "EngineConfig",
+    "RoundReport",
+    "RoutingEngine",
+    "NET_STREAM_STRIDE",
+    "net_stream_seed",
+    "derive_net_rng",
+]

@@ -1,0 +1,205 @@
+"""Incremental re-route caching for rip-up-and-re-route rounds.
+
+Later resource-sharing rounds re-solve every net from scratch even though
+most prices have settled: a net whose terminals, delay weights, and nearby
+congestion costs did not change since its last routing would get the exact
+same tree from the (deterministically seeded) oracle.  The
+:class:`RerouteCache` detects such nets by signature comparison and lets the
+engine skip the oracle call -- the previous tree is kept, and because it is
+unchanged the congestion usage does not need to be touched either.
+
+The signature (see :func:`repro.core.instance.instance_signature`) covers
+
+* the net's terminals and sink delay weights,
+* the bifurcation model parameters,
+* the congestion cost vector restricted to the net's *bounding region* --
+  the halo-expanded planar bounding box of its pins, plus every edge of the
+  net's current tree (routes may detour outside the pin box), and
+* the global minimum routing-edge cost, which feeds the oracle's A*
+  potentials and must therefore be part of the cache key even though it is
+  not a "local" quantity.
+
+``scope="global"`` digests the full cost vector instead of the bounding
+region; it is slower to hash but makes a cache hit a *proof* that re-solving
+would reproduce the tree (the region scope is a very good heuristic).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.instance import instance_signature
+from repro.engine.scheduler import BoundingBox
+from repro.grid.graph import RoutingGraph
+
+__all__ = ["CacheStats", "RerouteCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one routing run."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class RerouteCache:
+    """Skips re-solving nets whose instance signature is unchanged.
+
+    Parameters
+    ----------
+    graph:
+        The routing graph (edge geometry for the bounding regions).
+    boxes:
+        Per-net halo-expanded planar bounding boxes, typically from
+        :meth:`repro.engine.scheduler.NetScheduler.net_box`.
+    scope:
+        ``"bbox"`` digests costs over the net's bounding region,
+        ``"global"`` digests the full cost vector.
+    """
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        boxes: Sequence[BoundingBox],
+        scope: str = "bbox",
+    ) -> None:
+        if scope not in ("bbox", "global"):
+            raise ValueError(f"unknown cache scope {scope!r}")
+        self.graph = graph
+        self.boxes = list(boxes)
+        self.scope = scope
+        self.stats = CacheStats()
+        self._signatures: Dict[int, bytes] = {}
+        self._region_cache: Dict[int, np.ndarray] = {}
+        # Planar coordinates of both endpoints of every edge, for vectorised
+        # region membership tests.
+        nx, ny = graph.nx, graph.ny
+        rest_u = np.asarray(graph.edge_u, dtype=np.int64) % (nx * ny)
+        rest_v = np.asarray(graph.edge_v, dtype=np.int64) % (nx * ny)
+        self._ux, self._uy = rest_u % nx, rest_u // nx
+        self._vx, self._vy = rest_v % nx, rest_v // nx
+        self._routing_mask = ~graph.edge_is_via
+
+    # ------------------------------------------------------------- regions
+    def region_edges(self, net_index: int) -> np.ndarray:
+        """Edge indices inside the net's bounding region (memoised)."""
+        cached = self._region_cache.get(net_index)
+        if cached is None:
+            box = self.boxes[net_index]
+            inside = (
+                (self._ux >= box.xlo)
+                & (self._ux <= box.xhi)
+                & (self._uy >= box.ylo)
+                & (self._uy <= box.yhi)
+                & (self._vx >= box.xlo)
+                & (self._vx <= box.xhi)
+                & (self._vy >= box.ylo)
+                & (self._vy <= box.yhi)
+            )
+            cached = np.flatnonzero(inside)
+            self._region_cache[net_index] = cached
+        return cached
+
+    # ----------------------------------------------------------- signature
+    def global_cost_digest(self, costs: np.ndarray) -> bytes:
+        """Digest of the full cost vector (for ``global``-scope signatures).
+
+        Hashing the whole vector is O(edges); all nets of a batch share one
+        cost vector, so callers should compute this once per batch and pass
+        it to :meth:`signature` instead of paying the scan per net.
+        """
+        return hashlib.sha1(
+            np.ascontiguousarray(costs, dtype=np.float64).tobytes()
+        ).digest()
+
+    def global_cost_floor(self, costs: np.ndarray) -> float:
+        """The cheapest routing-edge cost anywhere under ``costs``.
+
+        The oracle's A* potentials scale with this value, so it is part of
+        every bbox-scope signature; it is constant for one cost vector, so
+        callers digesting a whole batch should compute it once and pass it
+        to :meth:`signature` instead of paying the O(edges) scan per net.
+        """
+        routing_costs = costs[self._routing_mask]
+        return float(routing_costs.min()) if routing_costs.size else 0.0
+
+    def signature(
+        self,
+        net_index: int,
+        root: int,
+        sinks: Sequence[int],
+        weights: Sequence[float],
+        costs: np.ndarray,
+        bifurcation: BifurcationModel,
+        tree_edges: Sequence[int] = (),
+        cost_floor: Optional[float] = None,
+        cost_digest: Optional[bytes] = None,
+    ) -> bytes:
+        """Compute the cache signature of one net under ``costs``.
+
+        ``cost_floor`` / ``cost_digest`` are the batch-constant
+        :meth:`global_cost_floor` / :meth:`global_cost_digest` of ``costs``;
+        each is computed on demand when omitted, so callers digesting a
+        whole batch should pass them in.
+        """
+        if self.scope == "global":
+            region: Optional[np.ndarray] = None
+            extras: List[float] = []
+            if cost_digest is None:
+                cost_digest = self.global_cost_digest(costs)
+        else:
+            region = self.region_edges(net_index)
+            if len(tree_edges):
+                region = np.union1d(region, np.asarray(tree_edges, dtype=np.int64))
+            if cost_floor is None:
+                cost_floor = self.global_cost_floor(costs)
+            extras = [cost_floor]
+            cost_digest = None
+        return instance_signature(
+            root,
+            sinks,
+            weights,
+            costs,
+            bifurcation,
+            region_edges=region,
+            extras=extras,
+            cost_digest=cost_digest,
+        )
+
+    # -------------------------------------------------------------- lookup
+    def is_fresh(self, net_index: int, signature: bytes) -> bool:
+        """Whether the net's last routing used an identical signature."""
+        hit = self._signatures.get(net_index) == signature
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return hit
+
+    def store(self, net_index: int, signature: bytes) -> None:
+        """Record the signature the net was (or would have been) routed with."""
+        self._signatures[net_index] = signature
+
+    def invalidate(self, net_index: Optional[int] = None) -> None:
+        """Drop one net's entry, or all entries when ``net_index`` is None."""
+        if net_index is None:
+            self._signatures.clear()
+        else:
+            self._signatures.pop(net_index, None)
+
+    def __len__(self) -> int:
+        return len(self._signatures)

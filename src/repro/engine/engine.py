@@ -1,0 +1,302 @@
+"""The batch-routing engine façade.
+
+:class:`RoutingEngine` is the execution layer between the router's
+price/timing logic (:mod:`repro.router`) and the Steiner oracles
+(:mod:`repro.core`, :mod:`repro.baselines`).  One engine owns
+
+* a :class:`~repro.engine.scheduler.NetScheduler` that partitions each
+  rip-up-and-re-route round into batches sharing a congestion snapshot,
+* a :class:`~repro.engine.executor.BatchExecutor` backend (``serial`` or
+  ``process``) that routes each batch, and
+* optionally a :class:`~repro.engine.cache.RerouteCache` that skips nets
+  whose instance signature is unchanged since their last routing.
+
+Determinism contract: for a fixed :class:`EngineConfig` scheduling policy,
+every backend -- and every cache setting under the ``global`` cache scope --
+produces bit-identical trees, because each net's tree is a pure function of
+its (snapshot-derived) Steiner instance and its private RNG stream.  The
+default configuration (``serial`` backend, ``window`` scheduling, cache off)
+keeps the historical serial loop's batching and cost-refresh structure;
+routed trees differ from pre-engine releases only through the per-net RNG
+streams that replaced the old shared-per-round RNG (:mod:`repro.engine.rng`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.instance import SteinerInstance
+from repro.core.oracle import SteinerOracle
+from repro.core.tree import EmbeddedTree
+from repro.engine.cache import RerouteCache
+from repro.engine.executor import (
+    EXECUTOR_BACKENDS,
+    BatchExecutor,
+    NetTask,
+    make_executor,
+)
+from repro.engine.scheduler import NetBatch, NetScheduler
+from repro.grid.congestion import CongestionMap
+from repro.grid.graph import RoutingGraph
+
+if TYPE_CHECKING:  # circular at runtime: repro.router imports repro.engine
+    from repro.router.netlist import Netlist
+    from repro.router.resource_sharing import ResourceSharingPrices
+
+__all__ = ["EngineConfig", "RoundReport", "RoutingEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of the batch-routing engine.
+
+    Attributes
+    ----------
+    backend:
+        Executor backend: ``"serial"`` (in-process, default) or
+        ``"process"`` (multiprocessing pool).
+    num_workers:
+        Worker count for the ``process`` backend; ``None`` auto-sizes.
+    scheduling:
+        Batch formation policy: ``"window"`` (cost-refresh windows,
+        reproduces the legacy serial loop) or ``"bbox"`` (conflict-free
+        bounding-box batches with per-batch cost refresh).
+    max_batch_size:
+        Upper bound on ``bbox`` batch sizes (``None`` = unbounded).
+    bbox_halo:
+        Tiles added around each net's pin bounding box for conflict tests
+        and cache regions.
+    reroute_cache:
+        Enables the incremental re-route cache.
+    cache_scope:
+        ``"bbox"`` (digest costs over the net's bounding region, fast) or
+        ``"global"`` (digest the full cost vector, exact).
+    """
+
+    backend: str = "serial"
+    num_workers: Optional[int] = None
+    scheduling: str = "window"
+    max_batch_size: Optional[int] = None
+    bbox_halo: int = 2
+    reroute_cache: bool = False
+    cache_scope: str = "bbox"
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {self.backend!r}; "
+                f"available: {sorted(EXECUTOR_BACKENDS)}"
+            )
+        if self.scheduling not in ("window", "bbox"):
+            raise ValueError(f"unknown scheduling policy {self.scheduling!r}")
+        if self.cache_scope not in ("bbox", "global"):
+            raise ValueError(f"unknown cache scope {self.cache_scope!r}")
+        if self.bbox_halo < 0:
+            raise ValueError("bbox_halo must be non-negative")
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        if self.max_batch_size is not None and self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+
+
+@dataclass
+class RoundReport:
+    """Bookkeeping of one engine round (for benchmarks and diagnostics)."""
+
+    round_index: int
+    num_batches: int = 0
+    nets_routed: int = 0
+    nets_cached: int = 0
+    walltime_seconds: float = 0.0
+
+
+class RoutingEngine:
+    """Routes rip-up-and-re-route rounds for a :class:`GlobalRouter`.
+
+    The engine mutates the shared ``trees`` list and ``congestion`` map that
+    the router owns; prices are only read.  The router remains responsible
+    for timing analysis and price updates between rounds.
+    """
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        netlist: "Netlist",
+        oracle: SteinerOracle,
+        bifurcation: BifurcationModel,
+        congestion: CongestionMap,
+        prices: "ResourceSharingPrices",
+        seed: int,
+        cost_refresh_interval: int,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        if cost_refresh_interval < 1:
+            raise ValueError("cost_refresh_interval must be positive")
+        self.graph = graph
+        self.netlist = netlist
+        self.oracle = oracle
+        self.bifurcation = bifurcation
+        self.congestion = congestion
+        self.prices = prices
+        self.seed = seed
+        self.cost_refresh_interval = cost_refresh_interval
+        self.config = config or EngineConfig()
+        self.scheduler = NetScheduler(graph, netlist, halo=self.config.bbox_halo)
+        self.executor: BatchExecutor = make_executor(
+            self.config.backend,
+            graph,
+            oracle,
+            bifurcation,
+            seed,
+            num_workers=self.config.num_workers,
+        )
+        self.cache: Optional[RerouteCache] = None
+        if self.config.reroute_cache:
+            scope = self.config.cache_scope
+            landmarks = getattr(getattr(oracle, "config", None), "num_landmarks", 0)
+            if scope == "bbox" and (not oracle.region_cache_safe or landmarks):
+                # The region digest only sees costs near the net; oracles
+                # that consult the full cost vector (global shortest-path
+                # embeddings, landmark/ALT lower bounds) can change their
+                # tree on a remote cost change the digest misses, so fall
+                # back to exact full-vector signatures.
+                scope = "global"
+            self.cache = RerouteCache(
+                graph,
+                [self.scheduler.net_box(i) for i in range(netlist.num_nets)],
+                scope=scope,
+            )
+        # The batch structure depends only on static inputs (netlist, boxes,
+        # policy), so it is computed once and reused every round -- the bbox
+        # policy's greedy colouring is quadratic in the net count.
+        self._batches: List[NetBatch] = self.scheduler.schedule(
+            policy=self.config.scheduling,
+            window_size=self.cost_refresh_interval,
+            max_batch_size=self.config.max_batch_size,
+        )
+        self.round_reports: List[RoundReport] = []
+
+    # ------------------------------------------------------------------ API
+    def route_round(
+        self,
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        record: bool = False,
+    ) -> List[SteinerInstance]:
+        """Route every net once, updating ``trees`` and the congestion map.
+
+        Returns the Steiner instances generated for the round when
+        ``record`` is true (in batch order), or an empty list otherwise.
+        """
+        report = RoundReport(round_index=round_index)
+        started = time.perf_counter()
+        collected: List[SteinerInstance] = []
+        delay = self.graph.delay_array()
+        for batch in self._batches:
+            report.num_batches += 1
+            snapshot = self.congestion.snapshot()
+            costs = snapshot.edge_costs(self.prices.edge_prices)
+            # Signature ingredients that are constant across the batch: the
+            # bbox scope folds in the global cost floor, the global scope
+            # the full-vector digest.  Compute each once, not per net.
+            cost_floor = 0.0
+            cost_digest: Optional[bytes] = None
+            if self.cache is not None:
+                if self.cache.scope == "global":
+                    cost_digest = self.cache.global_cost_digest(costs)
+                else:
+                    cost_floor = self.cache.global_cost_floor(costs)
+            tasks: List[NetTask] = []
+            signatures: Dict[int, bytes] = {}
+            for net_index in batch.nets:
+                task = self._make_task(net_index)
+                if record:
+                    collected.append(self._record_instance(task, costs, delay))
+                if self.cache is not None:
+                    old_tree = trees[net_index]
+                    sig = self.cache.signature(
+                        net_index,
+                        task.root,
+                        task.sinks,
+                        task.weights,
+                        costs,
+                        self.bifurcation,
+                        tree_edges=old_tree.edges if old_tree is not None else (),
+                        cost_floor=cost_floor,
+                        cost_digest=cost_digest,
+                    )
+                    signatures[net_index] = sig
+                    if old_tree is not None and self.cache.is_fresh(net_index, sig):
+                        # Unchanged instance: the oracle would rebuild the
+                        # exact same tree, so keep it (usage already booked).
+                        report.nets_cached += 1
+                        continue
+                tasks.append(task)
+            routed = self.executor.route_batch(costs, tasks) if tasks else {}
+            tasks_by_index = {task.net_index: task for task in tasks}
+            for net_index in batch.nets:
+                new_tree = routed.get(net_index)
+                if new_tree is not None:
+                    old_tree = trees[net_index]
+                    self.congestion.apply_tree_delta(
+                        old_tree.edges if old_tree is not None else None,
+                        new_tree.edges,
+                    )
+                    trees[net_index] = new_tree
+                    report.nets_routed += 1
+                if self.cache is not None:
+                    sig = signatures[net_index]
+                    if new_tree is not None and self.cache.scope != "global":
+                        # Re-digest under the *new* tree's bounding region so
+                        # the entry can match next round's lookup (which will
+                        # use this tree's edges) without an extra warm-up
+                        # round after every re-route.
+                        task = tasks_by_index[net_index]
+                        sig = self.cache.signature(
+                            net_index,
+                            task.root,
+                            task.sinks,
+                            task.weights,
+                            costs,
+                            self.bifurcation,
+                            tree_edges=new_tree.edges,
+                            cost_floor=cost_floor,
+                            cost_digest=cost_digest,
+                        )
+                    self.cache.store(net_index, sig)
+        report.walltime_seconds = time.perf_counter() - started
+        self.round_reports.append(report)
+        return collected
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "RoutingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+    def _make_task(self, net_index: int) -> NetTask:
+        root, sinks = self.netlist.net_terminals(self.graph, net_index)
+        return NetTask(
+            net_index=net_index,
+            root=root,
+            sinks=tuple(sinks),
+            weights=tuple(self.prices.weights_of(net_index)),
+            name=f"{self.netlist.name}/{self.netlist.nets[net_index].name}",
+        )
+
+    def _record_instance(
+        self, task: NetTask, costs: np.ndarray, delay: np.ndarray
+    ) -> SteinerInstance:
+        return SteinerInstance.from_payload(
+            self.graph, task.payload(costs, self.bifurcation), delay=delay
+        )

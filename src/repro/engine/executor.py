@@ -1,0 +1,272 @@
+"""Batch executors: pluggable backends that route one batch of nets.
+
+A batch (see :mod:`repro.engine.scheduler`) is a set of nets that share one
+frozen congestion cost vector.  Given that vector and one lightweight
+:class:`NetTask` per net, an executor returns the embedded tree of every net.
+Because each net carries its own deterministically derived RNG stream
+(:mod:`repro.engine.rng`), every backend produces bit-identical trees; the
+backends differ only in *where* the Steiner oracle runs:
+
+* :class:`SerialExecutor` routes the batch in-process, net by net -- the
+  default, equivalent to the historical router loop.
+* :class:`ProcessExecutor` fans the batch out over a ``multiprocessing``
+  pool.  Each worker is primed once with a pickled read-only payload (the
+  routing graph, the oracle, and the bifurcation model); per batch, the cost
+  vector is pickled once per worker shard rather than once per net, and the
+  workers return plain ``(net_index, sinks, edges, method)`` tuples so the
+  (large) graph object never travels back over the pipe.
+
+Use :func:`make_executor` to construct a backend by name.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.instance import SteinerInstance
+from repro.core.oracle import SteinerOracle
+from repro.core.tree import EmbeddedTree
+from repro.engine.rng import derive_net_rng
+from repro.grid.graph import RoutingGraph
+
+__all__ = [
+    "NetTask",
+    "BatchExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "EXECUTOR_BACKENDS",
+]
+
+
+@dataclass(frozen=True)
+class NetTask:
+    """Everything a worker needs to route one net (cheap to pickle)."""
+
+    net_index: int
+    root: int
+    sinks: Tuple[int, ...]
+    weights: Tuple[float, ...]
+    name: str = ""
+
+    def payload(self, costs: np.ndarray, bifurcation: BifurcationModel) -> dict:
+        """The :meth:`SteinerInstance.from_payload` dict of this task under a
+        batch cost vector (graph and delay are supplied by the executor)."""
+        return {
+            "root": self.root,
+            "sinks": self.sinks,
+            "weights": self.weights,
+            "cost": costs,
+            "bifurcation": bifurcation,
+            "name": self.name,
+        }
+
+
+class BatchExecutor:
+    """Common state and interface of all executor backends."""
+
+    #: Backend name used in configuration and result reporting.
+    backend = "?"
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        oracle: SteinerOracle,
+        bifurcation: BifurcationModel,
+        seed: int,
+    ) -> None:
+        self.graph = graph
+        self.oracle = oracle
+        self.bifurcation = bifurcation
+        self.seed = seed
+        self._delay = graph.delay_array()
+
+    # ------------------------------------------------------------------ API
+    def route_batch(
+        self, costs: np.ndarray, tasks: Sequence[NetTask]
+    ) -> Dict[int, EmbeddedTree]:
+        """Route every task against ``costs``; returns trees by net index."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker pools).  Idempotent."""
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- shared
+    def _route_one(self, costs: np.ndarray, task: NetTask) -> EmbeddedTree:
+        instance = SteinerInstance.from_payload(
+            self.graph, task.payload(costs, self.bifurcation), delay=self._delay
+        )
+        rng = derive_net_rng(self.seed, task.net_index)
+        return self.oracle.build(instance, rng)
+
+
+class SerialExecutor(BatchExecutor):
+    """Routes a batch in-process, one net after the other."""
+
+    backend = "serial"
+
+    def route_batch(
+        self, costs: np.ndarray, tasks: Sequence[NetTask]
+    ) -> Dict[int, EmbeddedTree]:
+        return {task.net_index: self._route_one(costs, task) for task in tasks}
+
+
+# --------------------------------------------------------------------------
+# Process backend.  The worker functions live at module level so they can be
+# located by child processes under every multiprocessing start method.
+# --------------------------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(payload_bytes: bytes) -> None:
+    """Pool initializer: unpack the shared read-only routing payload."""
+    state = pickle.loads(payload_bytes)
+    state["delay"] = state["graph"].delay_array()
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+
+
+def _route_shard(
+    shard: Tuple[np.ndarray, List[NetTask]]
+) -> List[Tuple[int, Tuple[int, ...], Tuple[int, ...], str]]:
+    """Route one shard of a batch inside a worker process."""
+    costs, tasks = shard
+    graph: RoutingGraph = _WORKER_STATE["graph"]
+    oracle: SteinerOracle = _WORKER_STATE["oracle"]
+    bifurcation: BifurcationModel = _WORKER_STATE["bifurcation"]
+    seed: int = _WORKER_STATE["seed"]
+    delay: np.ndarray = _WORKER_STATE["delay"]
+    results = []
+    for task in tasks:
+        instance = SteinerInstance.from_payload(
+            graph, task.payload(costs, bifurcation), delay=delay
+        )
+        tree = oracle.build(instance, derive_net_rng(seed, task.net_index))
+        results.append((task.net_index, tuple(tree.sinks), tuple(tree.edges), tree.method))
+    return results
+
+
+class ProcessExecutor(BatchExecutor):
+    """Routes batches on a ``multiprocessing`` pool of worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8 (pure-Python
+        workloads stop scaling long before the core count on big machines).
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        oracle: SteinerOracle,
+        bifurcation: BifurcationModel,
+        seed: int,
+        num_workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(graph, oracle, bifurcation, seed)
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers or min(os.cpu_count() or 2, 8)
+        self._pool = None
+
+    # ----------------------------------------------------------- lifecycle
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            # Prefer fork: workers inherit sys.path (the repo uses a src/
+            # layout that may only exist on the parent's sys.path) and the
+            # initializer payload is then merely a consistency guarantee.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            payload = pickle.dumps(
+                {
+                    "graph": self.graph,
+                    "oracle": self.oracle,
+                    "bifurcation": self.bifurcation,
+                    "seed": self.seed,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._pool = context.Pool(
+                processes=self.num_workers,
+                initializer=_worker_init,
+                initargs=(payload,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ------------------------------------------------------------------ API
+    def route_batch(
+        self, costs: np.ndarray, tasks: Sequence[NetTask]
+    ) -> Dict[int, EmbeddedTree]:
+        if len(tasks) <= 1:
+            # IPC overhead cannot pay off for a single net.
+            return {task.net_index: self._route_one(costs, task) for task in tasks}
+        pool = self._ensure_pool()
+        shards = self._shard(list(tasks))
+        roots = {task.net_index: task.root for task in tasks}
+        trees: Dict[int, EmbeddedTree] = {}
+        for shard_result in pool.map(_route_shard, [(costs, shard) for shard in shards]):
+            for net_index, sinks, edges, method in shard_result:
+                trees[net_index] = EmbeddedTree(self.graph, roots[net_index], sinks, edges, method)
+        return trees
+
+    def _shard(self, tasks: List[NetTask]) -> List[List[NetTask]]:
+        """Split a batch into one contiguous shard per worker."""
+        num_shards = min(self.num_workers, len(tasks))
+        size, extra = divmod(len(tasks), num_shards)
+        shards: List[List[NetTask]] = []
+        start = 0
+        for i in range(num_shards):
+            end = start + size + (1 if i < extra else 0)
+            shards.append(tasks[start:end])
+            start = end
+        return shards
+
+
+EXECUTOR_BACKENDS = {
+    SerialExecutor.backend: SerialExecutor,
+    ProcessExecutor.backend: ProcessExecutor,
+}
+
+
+def make_executor(
+    backend: str,
+    graph: RoutingGraph,
+    oracle: SteinerOracle,
+    bifurcation: BifurcationModel,
+    seed: int,
+    num_workers: Optional[int] = None,
+) -> BatchExecutor:
+    """Construct an executor backend by name (``serial`` or ``process``)."""
+    if backend == SerialExecutor.backend:
+        return SerialExecutor(graph, oracle, bifurcation, seed)
+    if backend == ProcessExecutor.backend:
+        return ProcessExecutor(graph, oracle, bifurcation, seed, num_workers=num_workers)
+    raise ValueError(
+        f"unknown executor backend {backend!r}; available: {sorted(EXECUTOR_BACKENDS)}"
+    )

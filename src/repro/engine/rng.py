@@ -1,0 +1,36 @@
+"""Deterministic per-net RNG derivation.
+
+Every Steiner oracle call receives its own :class:`random.Random` derived
+from the router seed and the net index by an explicit, stable formula.  This
+replaces the old ``random.Random((seed, net_index).__hash__())`` scheme,
+which depended on CPython's tuple hashing (randomised between interpreter
+builds and not guaranteed stable across versions) and, worse, on one RNG
+being *shared* by all nets of a round -- consuming randomness for net ``i``
+changed the tree of net ``i + 1``, which makes parallel execution impossible.
+
+With one independent stream per net, a net's tree is a pure function of its
+Steiner instance and ``(seed, net_index)``, so the serial and process
+backends of :mod:`repro.engine.executor` produce bit-identical trees, and the
+re-route cache of :mod:`repro.engine.cache` can prove that re-solving an
+unchanged instance would reproduce the cached tree.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["NET_STREAM_STRIDE", "net_stream_seed", "derive_net_rng"]
+
+#: Multiplier separating per-net RNG streams; a prime much larger than any
+#: realistic net count so distinct ``(seed, net_index)`` pairs cannot collide.
+NET_STREAM_STRIDE = 1_000_003
+
+
+def net_stream_seed(seed: int, net_index: int) -> int:
+    """The integer seed of net ``net_index``'s private RNG stream."""
+    return seed * NET_STREAM_STRIDE + net_index
+
+
+def derive_net_rng(seed: int, net_index: int) -> random.Random:
+    """A fresh, independent RNG for one net's oracle call."""
+    return random.Random(net_stream_seed(seed, net_index))

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.grid.graph import RoutingGraph
 
-__all__ = ["CongestionMap", "ace", "ace4"]
+__all__ = ["CongestionMap", "CongestionSnapshot", "ace", "ace4"]
 
 
 def ace(congestion: Sequence[float], percent: float) -> float:
@@ -56,6 +56,58 @@ def ace4(congestion: Sequence[float]) -> float:
     """The ACE4 metric: mean of ACE(0.5), ACE(1), ACE(2) and ACE(5)."""
     values = list(congestion)
     return 0.25 * (ace(values, 0.5) + ace(values, 1.0) + ace(values, 2.0) + ace(values, 5.0))
+
+
+def _priced_edge_costs(
+    graph: RoutingGraph,
+    usage: np.ndarray,
+    overflow_penalty: float,
+    threshold: float,
+    prices: Optional[np.ndarray],
+) -> np.ndarray:
+    """The congestion pricing formula shared by live maps and snapshots.
+
+    Keeping this in one place is what guarantees that costs read through a
+    :class:`CongestionSnapshot` equal the live :class:`CongestionMap` costs
+    for identical usage -- the engine's serial/parallel parity depends on it.
+    """
+    congestion = usage / graph.edge_capacity
+    factor = np.exp(overflow_penalty * np.clip(congestion - threshold, 0.0, None))
+    costs = graph.edge_base_cost * factor
+    if prices is not None:
+        if prices.shape != costs.shape:
+            raise ValueError("prices array has wrong shape")
+        costs = costs * prices
+    return costs
+
+
+class CongestionSnapshot:
+    """A frozen view of a :class:`CongestionMap` at one point in time.
+
+    Snapshots decouple readers from writers: a batch of nets is routed
+    against the costs of one snapshot while the live map keeps accumulating
+    usage deltas, exactly like the serial router's periodic cost refresh.
+    The usage array is copied and marked read-only, so a snapshot stays valid
+    (and cheap to share with worker processes) however the live map evolves.
+    """
+
+    def __init__(self, source: "CongestionMap") -> None:
+        self.graph = source.graph
+        self.overflow_penalty = source.overflow_penalty
+        self.threshold = source.threshold
+        self.usage = source.usage.copy()
+        self.usage.setflags(write=False)
+
+    def congestion(self) -> np.ndarray:
+        """Per-edge congestion (usage / capacity) at snapshot time."""
+        return self.usage / self.graph.edge_capacity
+
+    def edge_costs(self, prices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Congestion-priced edge costs at snapshot time (see
+        :meth:`CongestionMap.edge_costs`)."""
+        return _priced_edge_costs(
+            self.graph, self.usage, self.overflow_penalty, self.threshold, prices
+        )
 
 
 class CongestionMap:
@@ -110,6 +162,39 @@ class CongestionMap:
             if self.usage[e] < 0.0:
                 self.usage[e] = 0.0
 
+    def apply_tree_delta(
+        self,
+        old_edges: Optional[Iterable[int]],
+        new_edges: Optional[Iterable[int]],
+    ) -> None:
+        """Replace one net's contribution: rip up ``old_edges``, add ``new_edges``.
+
+        Either side may be ``None`` (initial routing has no old tree; a
+        ripped-up net awaiting re-route has no new one yet).  Passing the
+        same sequence twice is a no-op up to floating-point bookkeeping.
+        """
+        if old_edges is not None:
+            self.remove_usage(old_edges)
+        if new_edges is not None:
+            self.add_usage(new_edges)
+
+    # ----------------------------------------------------------- snapshots
+    def snapshot(self) -> CongestionSnapshot:
+        """A frozen copy of the current usage (see :class:`CongestionSnapshot`)."""
+        return CongestionSnapshot(self)
+
+    def restore(self, snapshot: CongestionSnapshot) -> None:
+        """Reset the live usage to a previously taken snapshot."""
+        if snapshot.usage.shape != self.usage.shape:
+            raise ValueError("snapshot belongs to a different graph")
+        self.usage = snapshot.usage.copy()
+
+    def delta_since(self, snapshot: CongestionSnapshot) -> np.ndarray:
+        """Per-edge usage change since ``snapshot`` was taken."""
+        if snapshot.usage.shape != self.usage.shape:
+            raise ValueError("snapshot belongs to a different graph")
+        return self.usage - snapshot.usage
+
     # ------------------------------------------------------------- queries
     def congestion(self) -> np.ndarray:
         """Per-edge congestion (usage / capacity)."""
@@ -148,11 +233,6 @@ class CongestionMap:
             resource-sharing router).  When given they multiply the
             congestion factor.
         """
-        congestion = self.congestion()
-        factor = np.exp(self.overflow_penalty * np.clip(congestion - self.threshold, 0.0, None))
-        costs = self.graph.edge_base_cost * factor
-        if prices is not None:
-            if prices.shape != costs.shape:
-                raise ValueError("prices array has wrong shape")
-            costs = costs * prices
-        return costs
+        return _priced_edge_costs(
+            self.graph, self.usage, self.overflow_penalty, self.threshold, prices
+        )

@@ -12,7 +12,7 @@ from repro.instances.generator import (
     generate_netlist,
     generate_steiner_instances,
 )
-from repro.instances.chips import ChipSpec, CHIP_SUITE, build_chip, chip_table
+from repro.instances.chips import ChipSpec, CHIP_SUITE, build_chip, chip_table, smoke_chip
 
 __all__ = [
     "NetlistGeneratorConfig",
@@ -22,4 +22,5 @@ __all__ = [
     "CHIP_SUITE",
     "build_chip",
     "chip_table",
+    "smoke_chip",
 ]

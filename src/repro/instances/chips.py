@@ -17,7 +17,7 @@ from repro.grid.graph import RoutingGraph, build_grid_graph
 from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
 from repro.router.netlist import Netlist
 
-__all__ = ["ChipSpec", "CHIP_SUITE", "build_chip", "chip_table"]
+__all__ = ["ChipSpec", "CHIP_SUITE", "build_chip", "chip_table", "smoke_chip"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,15 @@ def build_chip(spec: ChipSpec) -> Tuple[RoutingGraph, Netlist]:
     )
     netlist = generate_netlist(graph, config, seed=spec.seed, name=spec.name)
     return graph, netlist
+
+
+def smoke_chip(net_scale: float = 0.3) -> ChipSpec:
+    """The suite's smallest chip (``c1``) scaled down for smoke runs.
+
+    Shared by quick engine-parity checks and the scaling benchmark so they
+    all exercise the same deterministic instance.
+    """
+    return CHIP_SUITE[0].scaled(net_scale)
 
 
 def chip_table(suite: Optional[Tuple[ChipSpec, ...]] = None) -> List[Dict[str, object]]:

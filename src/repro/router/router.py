@@ -20,7 +20,6 @@ and II.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,6 +31,8 @@ from repro.core.instance import SteinerInstance
 from repro.core.objective import evaluate_tree
 from repro.core.oracle import SteinerOracle
 from repro.core.tree import EmbeddedTree
+from repro.engine.engine import EngineConfig, RoutingEngine
+from repro.engine.rng import derive_net_rng
 from repro.grid.congestion import CongestionMap
 from repro.grid.graph import RoutingGraph
 from repro.router.metrics import RoutingResult
@@ -66,7 +67,13 @@ class GlobalRouterConfig:
         kept in :attr:`GlobalRouter.collected_instances` for the
         instance-level comparison of Tables I/II.
     seed:
-        Seed for the oracle's randomised choices.
+        Seed for the oracle's randomised choices.  Every net gets a private
+        RNG stream derived from ``(seed, net_index)`` (see
+        :mod:`repro.engine.rng`), so trees are independent of routing order
+        and identical across engine backends.
+    engine:
+        Configuration of the batch-routing engine: executor backend
+        (``serial`` / ``process``), scheduling policy, and re-route cache.
     """
 
     num_rounds: int = 2
@@ -76,6 +83,7 @@ class GlobalRouterConfig:
     resource_sharing: ResourceSharingConfig = field(default_factory=ResourceSharingConfig)
     record_instances: bool = False
     seed: int = 0
+    engine: EngineConfig = field(default_factory=EngineConfig)
 
 
 class GlobalRouter:
@@ -100,6 +108,17 @@ class GlobalRouter:
             self.config.resource_sharing,
         )
         self.bifurcation = self._make_bifurcation()
+        self.engine = RoutingEngine(
+            graph=graph,
+            netlist=netlist,
+            oracle=oracle,
+            bifurcation=self.bifurcation,
+            congestion=self.congestion,
+            prices=self.prices,
+            seed=self.config.seed,
+            cost_refresh_interval=self.config.cost_refresh_interval,
+            config=self.config.engine,
+        )
         self.trees: List[Optional[EmbeddedTree]] = [None] * netlist.num_nets
         self.collected_instances: List[SteinerInstance] = []
         self.timing_report: Optional[TimingReport] = None
@@ -108,20 +127,25 @@ class GlobalRouter:
     def run(self) -> RoutingResult:
         """Run the full flow and return the Table IV/V style metrics."""
         start = time.perf_counter()
-        for round_index in range(self.config.num_rounds):
-            final_round = round_index == self.config.num_rounds - 1
-            self._route_round(round_index, record=final_round and self.config.record_instances)
-            self.timing_report = self._run_sta()
-            if not final_round:
-                self.prices.update_edge_prices(self.congestion)
-                self.prices.update_delay_weights(self.timing_report)
+        try:
+            for round_index in range(self.config.num_rounds):
+                final_round = round_index == self.config.num_rounds - 1
+                self._route_round(
+                    round_index, record=final_round and self.config.record_instances
+                )
+                self.timing_report = self._run_sta()
+                if not final_round:
+                    self.prices.update_edge_prices(self.congestion)
+                    self.prices.update_delay_weights(self.timing_report)
+        finally:
+            self.engine.close()
         walltime = time.perf_counter() - start
         return self._collect_metrics(walltime)
 
     def route_single_net(self, net_index: int) -> EmbeddedTree:
         """Route one net in isolation under the current prices (helper for tests)."""
         instance = self.build_instance(net_index, self._current_costs())
-        rng = random.Random((self.config.seed, net_index).__hash__())
+        rng = derive_net_rng(self.config.seed, net_index)
         tree = self.oracle.build(instance, rng)
         tree.validate()
         return tree
@@ -151,20 +175,10 @@ class GlobalRouter:
         return self.prices.edge_costs(self.congestion)
 
     def _route_round(self, round_index: int, record: bool) -> None:
-        rng = random.Random((self.config.seed, round_index).__hash__())
-        costs = self._current_costs()
-        for net_index in range(self.netlist.num_nets):
-            if net_index % self.config.cost_refresh_interval == 0:
-                costs = self._current_costs()
-            old_tree = self.trees[net_index]
-            if old_tree is not None:
-                self.congestion.remove_usage(old_tree.edges)
-            instance = self.build_instance(net_index, costs)
-            if record:
-                self.collected_instances.append(instance)
-            tree = self.oracle.build(instance, rng)
-            self.trees[net_index] = tree
-            self.congestion.add_usage(tree.edges)
+        """Route every net once, delegating batching and execution to the engine."""
+        recorded = self.engine.route_round(round_index, self.trees, record=record)
+        if record:
+            self.collected_instances.extend(recorded)
 
     def _net_delays(self) -> Dict[int, List[float]]:
         """Per-sink delays of every routed net (for the STA)."""

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import json
+
+import pytest
+
+from repro.__main__ import ORACLES, build_parser, main, make_oracle
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.chip == "c1"
+        assert args.oracle == "CD"
+        assert args.backend == "serial"
+        assert not args.cache
+
+    def test_rejects_unknown_chip(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--chip", "c99"])
+
+    def test_make_oracle(self):
+        for name in ORACLES:
+            assert make_oracle(name).name == name
+        with pytest.raises(ValueError):
+            make_oracle("XX")
+
+
+class TestMain:
+    def test_list_chips(self, capsys):
+        assert main(["--list-chips"]) == 0
+        out = capsys.readouterr().out
+        for chip in ("c1", "c8"):
+            assert chip in out
+
+    def test_smoke_route_row(self, capsys):
+        assert main(["--chip", "c1", "--net-scale", "0.1", "--cache"]) == 0
+        captured = capsys.readouterr()
+        assert "c1" in captured.out and "ACE4" in captured.out
+        assert "re-route cache" in captured.err
+
+    def test_smoke_route_json(self, capsys):
+        assert main(["--chip", "c1", "--net-scale", "0.1", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["chip"] == "c1"
+        assert record["method"] == "CD"
+        assert "WS" in record and "Walltime" in record

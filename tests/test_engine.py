@@ -1,0 +1,486 @@
+"""Tests for the batch-routing engine (scheduler, executors, cache, façade)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.cost_distance import CostDistanceSolver
+from repro.core.instance import SteinerInstance, instance_signature
+from repro.engine.cache import RerouteCache
+from repro.engine.engine import EngineConfig, RoutingEngine
+from repro.engine.executor import (
+    NetTask,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.engine.rng import NET_STREAM_STRIDE, derive_net_rng, net_stream_seed
+from repro.engine.scheduler import BoundingBox, NetScheduler
+from repro.grid.congestion import CongestionMap
+from repro.grid.geometry import GridPoint
+from repro.grid.graph import build_grid_graph
+from repro.router.netlist import Net, Netlist, Pin, Stage
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+
+def tiny_netlist():
+    nets = [
+        Net("n0", Pin("n0:d", GridPoint(0, 0, 0)), [Pin("n0:s0", GridPoint(4, 1, 0)),
+                                                    Pin("n0:s1", GridPoint(2, 5, 0))]),
+        Net("n1", Pin("n1:d", GridPoint(4, 1, 0)), [Pin("n1:s0", GridPoint(7, 7, 0))]),
+        Net("n2", Pin("n2:d", GridPoint(1, 6, 0)), [Pin("n2:s0", GridPoint(6, 3, 0))]),
+        Net("n3", Pin("n3:d", GridPoint(8, 8, 0)), [Pin("n3:s0", GridPoint(9, 9, 0))]),
+    ]
+    stages = [Stage(0, 0, 1, cell_delay=5.0)]
+    return Netlist("tiny", nets, stages, clock_period=60.0)
+
+
+def result_key(result):
+    return (
+        result.worst_slack,
+        result.total_negative_slack,
+        result.ace4,
+        result.wire_length,
+        result.via_count,
+        result.overflow,
+        result.objective,
+    )
+
+
+def run_router(graph_dims, engine_config, num_rounds=2, record=False):
+    graph = build_grid_graph(*graph_dims)
+    netlist = tiny_netlist()
+    router = GlobalRouter(
+        graph,
+        netlist,
+        CostDistanceSolver(),
+        GlobalRouterConfig(
+            num_rounds=num_rounds, record_instances=record, engine=engine_config
+        ),
+    )
+    return router, router.run()
+
+
+class TestRng:
+    def test_stable_formula(self):
+        assert net_stream_seed(3, 7) == 3 * NET_STREAM_STRIDE + 7
+
+    def test_streams_are_independent(self):
+        a = derive_net_rng(0, 1)
+        b = derive_net_rng(0, 2)
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_streams_are_reproducible(self):
+        assert derive_net_rng(5, 9).random() == derive_net_rng(5, 9).random()
+
+
+class TestBoundingBox:
+    def test_overlap_and_separation(self):
+        a = BoundingBox(0, 0, 3, 3)
+        assert a.overlaps(BoundingBox(3, 3, 5, 5))  # shared corner tile
+        assert not a.overlaps(BoundingBox(4, 0, 6, 2))
+        assert not a.overlaps(BoundingBox(0, 4, 2, 6))
+
+    def test_expand_clips_to_grid(self):
+        box = BoundingBox(0, 0, 2, 2).expanded(3, 5, 5)
+        assert box == BoundingBox(0, 0, 4, 4)
+
+
+class TestScheduler:
+    @pytest.fixture(scope="class")
+    def sched(self):
+        graph = build_grid_graph(10, 10, 4)
+        return NetScheduler(graph, tiny_netlist(), halo=0)
+
+    def test_window_policy_preserves_order(self, sched):
+        batches = sched.schedule(policy="window", window_size=3)
+        assert [batch.nets for batch in batches] == [(0, 1, 2), (3,)]
+
+    def test_every_net_scheduled_exactly_once(self, sched):
+        for policy in ("window", "bbox"):
+            batches = sched.schedule(policy=policy, window_size=2)
+            routed = [n for batch in batches for n in batch.nets]
+            assert sorted(routed) == [0, 1, 2, 3]
+
+    def test_bbox_batches_are_conflict_free(self, sched):
+        for batch in sched.schedule(policy="bbox"):
+            for i, a in enumerate(batch.nets):
+                for b in batch.nets[i + 1 :]:
+                    assert not sched.conflict(a, b)
+
+    def test_bbox_separates_overlapping_nets(self, sched):
+        # Nets 0 and 1 share the tile (4, 1); they must not share a batch.
+        assert sched.conflict(0, 1)
+        for batch in sched.schedule(policy="bbox"):
+            assert not ({0, 1} <= set(batch.nets))
+
+    def test_disjoint_net_rides_along(self, sched):
+        # Net 3 lives at (8..9, 8..9), disjoint from net 0's box: same batch.
+        assert not sched.conflict(0, 3)
+        first = sched.schedule(policy="bbox")[0]
+        assert 0 in first.nets and 3 in first.nets
+
+    def test_max_batch_size_respected(self, sched):
+        for batch in sched.schedule(policy="bbox", max_batch_size=1):
+            assert len(batch) == 1
+
+    def test_halo_expands_conflicts(self):
+        graph = build_grid_graph(10, 10, 4)
+        wide = NetScheduler(graph, tiny_netlist(), halo=9)
+        # With a grid-sized halo every pair conflicts.
+        assert wide.conflict(0, 3)
+
+    def test_invalid_arguments(self, sched):
+        with pytest.raises(ValueError):
+            sched.schedule(policy="nope")
+        with pytest.raises(ValueError):
+            sched.schedule(policy="window", window_size=0)
+        with pytest.raises(ValueError):
+            NetScheduler(build_grid_graph(4, 4, 2), tiny_netlist(), halo=-1)
+
+
+class TestExecutors:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = build_grid_graph(10, 10, 4)
+        netlist = tiny_netlist()
+        tasks = []
+        for i in range(netlist.num_nets):
+            root, sinks = netlist.net_terminals(graph, i)
+            tasks.append(
+                NetTask(i, root, tuple(sinks), tuple([0.2] * len(sinks)), f"t/{i}")
+            )
+        costs = graph.base_cost_array()
+        return graph, tasks, costs
+
+    def test_serial_routes_all_tasks(self, setup):
+        graph, tasks, costs = setup
+        executor = SerialExecutor(graph, CostDistanceSolver(), BifurcationModel(), 0)
+        trees = executor.route_batch(costs, tasks)
+        assert sorted(trees) == [t.net_index for t in tasks]
+        for task in tasks:
+            trees[task.net_index].validate(task.root, list(task.sinks))
+
+    def test_process_matches_serial_bit_for_bit(self, setup):
+        graph, tasks, costs = setup
+        serial = SerialExecutor(graph, CostDistanceSolver(), BifurcationModel(), 0)
+        with ProcessExecutor(
+            graph, CostDistanceSolver(), BifurcationModel(), 0, num_workers=2
+        ) as process:
+            expected = serial.route_batch(costs, tasks)
+            actual = process.route_batch(costs, tasks)
+        assert sorted(actual) == sorted(expected)
+        for net_index, tree in expected.items():
+            assert actual[net_index].edges == tree.edges
+            assert actual[net_index].root == tree.root
+            assert actual[net_index].sinks == tree.sinks
+            assert actual[net_index].method == tree.method
+
+    def test_single_task_avoids_pool(self, setup):
+        graph, tasks, costs = setup
+        process = ProcessExecutor(
+            graph, CostDistanceSolver(), BifurcationModel(), 0, num_workers=2
+        )
+        trees = process.route_batch(costs, tasks[:1])
+        assert process._pool is None  # inline fast path, no pool spawned
+        assert len(trees) == 1
+        process.close()
+
+    def test_make_executor(self, setup):
+        graph, *_ = setup
+        oracle = CostDistanceSolver()
+        assert isinstance(
+            make_executor("serial", graph, oracle, BifurcationModel(), 0),
+            SerialExecutor,
+        )
+        assert isinstance(
+            make_executor("process", graph, oracle, BifurcationModel(), 0),
+            ProcessExecutor,
+        )
+        with pytest.raises(ValueError):
+            make_executor("thread", graph, oracle, BifurcationModel(), 0)
+
+    def test_close_is_idempotent(self, setup):
+        graph, tasks, costs = setup
+        process = ProcessExecutor(
+            graph, CostDistanceSolver(), BifurcationModel(), 0, num_workers=2
+        )
+        process.route_batch(costs, tasks)
+        process.close()
+        process.close()
+
+
+class TestCongestionSnapshot:
+    def test_snapshot_is_frozen(self, small_graph):
+        live = CongestionMap(small_graph)
+        live.add_usage([0, 1])
+        snap = live.snapshot()
+        live.add_usage([0, 1, 2])
+        assert snap.usage[2] == 0.0
+        assert live.usage[2] > 0.0
+        with pytest.raises(ValueError):
+            snap.usage[0] = 99.0
+
+    def test_snapshot_costs_match_map_costs(self, small_graph):
+        live = CongestionMap(small_graph)
+        live.add_usage(range(100), amount=5.0)
+        prices = np.full(small_graph.num_edges, 1.5)
+        snap = live.snapshot()
+        assert np.array_equal(snap.edge_costs(prices), live.edge_costs(prices))
+
+    def test_restore_and_delta(self, small_graph):
+        live = CongestionMap(small_graph)
+        live.add_usage([0])
+        snap = live.snapshot()
+        live.add_usage([5], amount=2.0)
+        delta = live.delta_since(snap)
+        assert delta[5] == pytest.approx(2.0)
+        assert np.count_nonzero(delta) == 1
+        live.restore(snap)
+        assert np.array_equal(live.usage, snap.usage)
+
+    def test_apply_tree_delta(self, small_graph):
+        live = CongestionMap(small_graph)
+        live.apply_tree_delta(None, [0, 1])
+        before = live.usage.copy()
+        live.apply_tree_delta([0, 1], [2, 3])
+        assert live.usage[0] == 0.0 and live.usage[2] > 0.0
+        live.apply_tree_delta([2, 3], [0, 1])
+        assert np.allclose(live.usage, before)
+
+
+class TestInstancePayload:
+    def test_task_payload_roundtrip(self, instance_factory):
+        """NetTask.payload (the production producer) feeds from_payload."""
+        instance = instance_factory(num_sinks=3, dbif=2.0)
+        task = NetTask(
+            0,
+            instance.root,
+            tuple(instance.sinks),
+            tuple(instance.weights),
+            instance.name,
+        )
+        rebuilt = SteinerInstance.from_payload(
+            instance.graph, task.payload(instance.cost, instance.bifurcation)
+        )
+        assert rebuilt.root == instance.root
+        assert rebuilt.sinks == instance.sinks
+        assert rebuilt.weights == instance.weights
+        assert np.array_equal(rebuilt.cost, instance.cost)
+        assert rebuilt.bifurcation == instance.bifurcation
+        assert rebuilt.name == instance.name
+        assert rebuilt.signature() == instance.signature()
+
+    def test_signature_sensitivity(self, instance_factory):
+        instance = instance_factory(num_sinks=3)
+        base = instance.signature()
+        assert instance.signature() == base  # deterministic
+        bumped_cost = instance.cost.copy()
+        bumped_cost[0] += 1.0
+        assert instance.with_costs(bumped_cost).signature() != base
+        heavier = instance_factory(num_sinks=3)
+        heavier.weights[0] += 0.5
+        assert heavier.signature() != base
+
+    def test_region_restriction(self, instance_factory):
+        instance = instance_factory(num_sinks=2)
+        region = np.arange(10)
+        base = instance.signature(region_edges=region)
+        outside = instance.cost.copy()
+        outside[-1] += 7.0  # far outside the region
+        assert instance.with_costs(outside).signature(region_edges=region) == base
+        inside = instance.cost.copy()
+        inside[3] += 7.0
+        assert instance.with_costs(inside).signature(region_edges=region) != base
+
+
+class TestRerouteCache:
+    @pytest.fixture()
+    def cache(self, small_graph):
+        boxes = [BoundingBox(0, 0, 4, 4), BoundingBox(6, 6, 9, 9)]
+        return RerouteCache(small_graph, boxes, scope="bbox")
+
+    def test_hit_after_store(self, cache, small_graph):
+        costs = small_graph.base_cost_array()
+        sig = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        assert not cache.is_fresh(0, sig)
+        cache.store(0, sig)
+        assert cache.is_fresh(0, sig)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_far_away_cost_change_keeps_signature(self, cache, small_graph):
+        costs = small_graph.base_cost_array()
+        sig = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        changed = costs.copy()
+        # Bump an edge in the opposite grid corner, above the global minimum
+        # so the A*-potential extra does not change either.
+        corner_node = small_graph.node_index(9, 9, 0)
+        edge_index = small_graph.adjacency[corner_node][0][0]
+        changed[edge_index] += 3.0
+        assert cache.signature(0, 0, [5], [0.2], changed, BifurcationModel()) == sig
+
+    def test_nearby_cost_change_invalidates(self, cache, small_graph):
+        costs = small_graph.base_cost_array()
+        sig = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        changed = costs.copy()
+        edge_index = small_graph.adjacency[0][0][0]  # incident to node 0
+        changed[edge_index] += 3.0
+        assert cache.signature(0, 0, [5], [0.2], changed, BifurcationModel()) != sig
+
+    def test_global_min_cost_drop_invalidates(self, cache, small_graph):
+        """Lowering the cheapest routing edge anywhere shifts the oracle's A*
+        potentials, so the signature must change even far from the net."""
+        costs = small_graph.base_cost_array()
+        sig = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        changed = costs.copy()
+        routing = np.flatnonzero(~small_graph.edge_is_via)
+        changed[routing[-1]] *= 0.5
+        assert cache.signature(0, 0, [5], [0.2], changed, BifurcationModel()) != sig
+
+    def test_tree_edges_extend_region(self, cache, small_graph):
+        costs = small_graph.base_cost_array()
+        # Pick an edge outside box 0 and include it as a tree edge.
+        corner_node = small_graph.node_index(9, 9, 0)
+        edge_index = small_graph.adjacency[corner_node][0][0]
+        sig = cache.signature(
+            0, 0, [5], [0.2], costs, BifurcationModel(), tree_edges=[edge_index]
+        )
+        changed = costs.copy()
+        changed[edge_index] += 3.0
+        new_sig = cache.signature(
+            0, 0, [5], [0.2], changed, BifurcationModel(), tree_edges=[edge_index]
+        )
+        assert new_sig != sig
+
+    def test_invalidate(self, cache, small_graph):
+        costs = small_graph.base_cost_array()
+        sig = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        cache.store(0, sig)
+        cache.invalidate(0)
+        assert not cache.is_fresh(0, sig)
+        cache.store(0, sig)
+        cache.store(1, sig)
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_global_scope_digests_everything(self, small_graph):
+        cache = RerouteCache(
+            small_graph, [BoundingBox(0, 0, 2, 2)], scope="global"
+        )
+        costs = small_graph.base_cost_array()
+        sig = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        changed = costs.copy()
+        changed[-1] += 3.0  # anywhere at all
+        assert cache.signature(0, 0, [5], [0.2], changed, BifurcationModel()) != sig
+
+    def test_unknown_scope_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            RerouteCache(small_graph, [], scope="galaxy")
+
+
+class TestEngineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(scheduling="nope")
+        with pytest.raises(ValueError):
+            EngineConfig(cache_scope="nope")
+        with pytest.raises(ValueError):
+            EngineConfig(bbox_halo=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            EngineConfig(max_batch_size=0)
+
+    def test_unknown_backend_rejected_at_router_construction(self):
+        graph = build_grid_graph(10, 10, 4)
+        with pytest.raises(ValueError):
+            GlobalRouter(
+                graph,
+                tiny_netlist(),
+                CostDistanceSolver(),
+                GlobalRouterConfig(engine=EngineConfig(backend="gpu")),
+            )
+
+
+class TestEngineIntegration:
+    DIMS = (10, 10, 4)
+
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return run_router(self.DIMS, EngineConfig())
+
+    def test_serial_baseline_routes_everything(self, serial_result):
+        router, result = serial_result
+        assert all(tree is not None for tree in router.trees)
+        assert result.num_nets == 4
+        reports = router.engine.round_reports
+        assert [r.nets_routed for r in reports] == [4, 4]
+
+    def test_process_backend_parity(self, serial_result):
+        _, expected = serial_result
+        _, actual = run_router(
+            self.DIMS, EngineConfig(backend="process", num_workers=2)
+        )
+        assert result_key(actual) == result_key(expected)
+
+    def test_cache_parity_and_hits(self, serial_result):
+        _, expected = serial_result
+        two_round = run_router(self.DIMS, EngineConfig(reroute_cache=True))[1]
+        assert result_key(two_round) == result_key(expected)
+        router, _ = run_router(
+            self.DIMS, EngineConfig(reroute_cache=True), num_rounds=3
+        )
+        assert router.engine.cache is not None
+        assert router.engine.cache.stats.lookups > 0
+
+    def test_cache_global_scope_parity(self, serial_result):
+        _, expected = serial_result
+        _, actual = run_router(
+            self.DIMS, EngineConfig(reroute_cache=True, cache_scope="global")
+        )
+        assert result_key(actual) == result_key(expected)
+
+    def test_bbox_scheduling_backend_parity(self):
+        _, serial = run_router(self.DIMS, EngineConfig(scheduling="bbox"))
+        _, process = run_router(
+            self.DIMS,
+            EngineConfig(scheduling="bbox", backend="process", num_workers=2),
+        )
+        assert result_key(serial) == result_key(process)
+
+    def test_cache_scope_upgrades_for_nonlocal_oracles(self):
+        """bbox scope is only honoured for oracles whose trees depend on
+        region-local costs; others are upgraded to exact signatures."""
+        from repro.baselines.shallow_light import ShallowLightOracle
+        from repro.core.cost_distance import CostDistanceConfig
+
+        graph = build_grid_graph(*self.DIMS)
+        config = GlobalRouterConfig(engine=EngineConfig(reroute_cache=True))
+        cases = [
+            (CostDistanceSolver(), "bbox"),
+            (CostDistanceSolver(CostDistanceConfig(num_landmarks=4)), "global"),
+            (ShallowLightOracle(), "global"),
+        ]
+        for oracle, expected_scope in cases:
+            router = GlobalRouter(graph, tiny_netlist(), oracle, config)
+            assert router.engine.cache.scope == expected_scope, oracle.name
+
+    def test_record_instances_through_engine(self):
+        router, _ = run_router(self.DIMS, EngineConfig(), record=True)
+        assert len(router.collected_instances) == 4
+        for instance in router.collected_instances:
+            assert instance.graph is router.graph
+
+    def test_record_instances_with_cache(self):
+        router, _ = run_router(
+            self.DIMS, EngineConfig(reroute_cache=True), record=True
+        )
+        assert len(router.collected_instances) == 4
+
+    def test_route_single_net_uses_stable_rng(self):
+        graph = build_grid_graph(*self.DIMS)
+        router_a = GlobalRouter(graph, tiny_netlist(), CostDistanceSolver())
+        router_b = GlobalRouter(graph, tiny_netlist(), CostDistanceSolver())
+        tree_a = router_a.route_single_net(0)
+        tree_b = router_b.route_single_net(0)
+        assert tree_a.edges == tree_b.edges
