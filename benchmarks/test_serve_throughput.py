@@ -1,0 +1,127 @@
+"""Serve-layer throughput: daemon jobs/sec and ECO-vs-cold speedup.
+
+Two measurements on the smoke chip (``c1``), recorded under
+``benchmarks/results/serve_throughput.txt``:
+
+* **daemon throughput** -- a batch of small route jobs is pushed through a
+  :class:`repro.serve.daemon.ServeDaemon` worker pool and the sustained
+  jobs/sec is reported (walltimes are machine-dependent, so no regression
+  gate), and
+* **ECO incrementality** -- one pin of a routed session is moved and the
+  incremental re-route is timed against a cold full re-route of the edited
+  netlist.  What *is* asserted is the serve determinism contract: the ECO
+  result must equal the cold result bit for bit while touching only a
+  subset of the nets (the dirty closure).
+"""
+
+import time
+
+import pytest
+
+from repro.core.cost_distance import CostDistanceSolver
+from repro.grid.geometry import GridPoint
+from repro.instances.chips import build_chip, smoke_chip
+from repro.instances.eco import MovePin
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+from repro.serve.session import RoutingSession
+
+from benchmarks.conftest import bench_scale, write_result
+
+#: Route jobs pushed through the daemon for the throughput figure.
+NUM_JOBS = 4
+ROUNDS = 3
+
+PARITY_FIELDS = (
+    "worst_slack",
+    "total_negative_slack",
+    "ace4",
+    "wire_length",
+    "via_count",
+    "overflow",
+    "objective",
+)
+
+
+def daemon_throughput():
+    """Route NUM_JOBS small jobs through the daemon; returns (jobs/sec, s)."""
+    with ServeDaemon(port=0, job_workers=2) as daemon:
+        host, port = daemon.start()
+        client = ServeClient(host, port, timeout=60.0)
+        client.wait_until_up()
+        started = time.perf_counter()
+        job_ids = [
+            client.submit_route(
+                chip="c1", net_scale=bench_scale(), rounds=1, seed=seed
+            )
+            for seed in range(NUM_JOBS)
+        ]
+        jobs = [client.wait(job_id, timeout=600.0) for job_id in job_ids]
+        elapsed = time.perf_counter() - started
+    assert all(job["status"] == "done" for job in jobs)
+    return NUM_JOBS / elapsed, elapsed
+
+
+def eco_vs_cold():
+    """Move one pin of a routed session; time ECO vs. cold re-route."""
+    spec = smoke_chip(bench_scale())
+    graph, netlist = build_chip(spec)
+    # A legal in-grid move of the first sink of the first net.
+    target = netlist.nets[0]
+    sink = target.sinks[0]
+    new_x = (sink.position.x + 1) % graph.nx
+    op = MovePin(target.name, sink.name, new_x, sink.position.y, sink.position.layer)
+
+    config = GlobalRouterConfig(num_rounds=ROUNDS)
+    session = RoutingSession(graph, netlist, CostDistanceSolver(), config)
+    session.route()
+    started = time.perf_counter()
+    report = session.apply_eco([op])
+    eco_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cold_router = GlobalRouter(
+        graph, session.netlist, CostDistanceSolver(), session.config
+    )
+    cold_result = cold_router.run()
+    cold_seconds = time.perf_counter() - started
+
+    for field in PARITY_FIELDS:
+        assert getattr(report.result, field) == getattr(cold_result, field), (
+            f"ECO replay diverged from the cold re-route on {field}"
+        )
+    total = ROUNDS * session.num_nets
+    assert report.nets_reused > 0, "ECO replay reused nothing"
+    assert report.nets_rerouted < total, "ECO replay re-routed every net"
+    return report, eco_seconds, cold_seconds
+
+
+@pytest.mark.benchmark(group="serve_throughput")
+def test_serve_throughput(benchmark):
+    def run_all():
+        return daemon_throughput(), eco_vs_cold()
+
+    (jobs_per_sec, batch_seconds), (report, eco_seconds, cold_seconds) = (
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+    )
+    speedup = cold_seconds / eco_seconds if eco_seconds > 0 else float("inf")
+
+    lines = [
+        f"Serve throughput on c1 (net scale {bench_scale()}, seed 0)",
+        "",
+        f"daemon: {NUM_JOBS} route jobs in {batch_seconds:.2f}s "
+        f"-> {jobs_per_sec:.2f} jobs/sec (2 workers, 1 round each)",
+        f"ECO ({ROUNDS} rounds): re-routed {report.nets_rerouted} net-rounds, "
+        f"reused {report.nets_reused} "
+        f"({100.0 * report.nets_reused / (report.nets_reused + report.nets_rerouted):.1f}% amortised)",
+        f"ECO walltime {eco_seconds:.3f}s vs cold re-route {cold_seconds:.3f}s "
+        f"-> speedup {speedup:.2f}x (metrics bit-identical)",
+    ]
+    benchmark.extra_info["jobs_per_sec"] = round(jobs_per_sec, 3)
+    benchmark.extra_info["eco_seconds"] = round(eco_seconds, 4)
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 4)
+    benchmark.extra_info["eco_speedup"] = round(speedup, 3)
+    benchmark.extra_info["nets_rerouted"] = report.nets_rerouted
+    benchmark.extra_info["nets_reused"] = report.nets_reused
+    write_result("serve_throughput", "\n".join(lines))

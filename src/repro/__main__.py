@@ -1,15 +1,22 @@
-"""Command-line entry point: route one chip of the synthetic suite.
+"""Command-line entry point: one-shot routing plus service subcommands.
 
-This is the surface a served deployment would wrap: pick a chip, a Steiner
-oracle, and an engine backend, run the timing-constrained global routing
-flow, and print the Table IV/V style result row.
+The flat flag form routes one chip of the synthetic suite and prints the
+Table IV/V style result row; the subcommand form talks to the routing
+service (:mod:`repro.serve`).
 
 Examples::
 
     python -m repro --chip c1
     python -m repro --chip c3 --oracle L1 --rounds 3
     python -m repro --chip c1 --backend process --workers 4 --cache
+    python -m repro --chip c2 --checkpoint run.ckpt --resume
     python -m repro --list-chips
+
+    python -m repro serve --port 8642
+    python -m repro submit --chip c1 --net-scale 0.2 --session s1 --wait
+    python -m repro eco --session s1 --ops '[{"op": "move_pin", ...}]' --wait
+    python -m repro status --all
+    python -m repro shutdown
 """
 
 from __future__ import annotations
@@ -19,30 +26,11 @@ import json
 import sys
 from typing import Optional
 
-from repro.baselines.prim_dijkstra import PrimDijkstraOracle
-from repro.baselines.rsmt import RectilinearSteinerOracle
-from repro.baselines.shallow_light import ShallowLightOracle
-from repro.core.cost_distance import CostDistanceSolver
-from repro.core.oracle import SteinerOracle
 from repro.engine.engine import EngineConfig
 from repro.instances.chips import CHIP_SUITE, build_chip, chip_table
 from repro.router.metrics import format_result_row
+from repro.router.oracles import ORACLES, make_oracle
 from repro.router.router import GlobalRouter, GlobalRouterConfig
-
-ORACLES = {
-    "CD": CostDistanceSolver,
-    "L1": RectilinearSteinerOracle,
-    "SL": ShallowLightOracle,
-    "PD": PrimDijkstraOracle,
-}
-
-
-def make_oracle(name: str) -> SteinerOracle:
-    """Instantiate a Steiner oracle by its table abbreviation."""
-    try:
-        return ORACLES[name]()
-    except KeyError:
-        raise ValueError(f"unknown oracle {name!r}; choose from {sorted(ORACLES)}")
 
 
 def _positive_int(text: str) -> int:
@@ -130,11 +118,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the chip suite parameters and exit",
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a resumable checkpoint to PATH after every round",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint PATH when it exists",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and not argv[0].startswith("-"):
+        # A word-like first argument may be a service subcommand; the
+        # authoritative list lives in serve/cli.py (imported lazily so the
+        # one-shot flag form never pays for the serve layer).
+        from repro.serve.cli import SERVE_COMMANDS, main as serve_main
+
+        if argv[0] in SERVE_COMMANDS:
+            return serve_main(argv)
     args = build_parser().parse_args(argv)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
     if args.list_chips:
         for row in chip_table():
             print(f"{row['chip']:>4}  nets={row['nets']:<5} layers={row['layers']:<3} grid={row['grid']}")
@@ -163,7 +175,18 @@ def main(argv: Optional[list] = None) -> int:
         file=sys.stderr,
     )
     router = GlobalRouter(graph, netlist, oracle, config)
-    result = router.run()
+    on_round_end = None
+    if args.checkpoint:
+        from repro.serve.checkpoint import checkpoint_hook, resume_router
+
+        if args.resume and resume_router(router, args.checkpoint):
+            print(
+                f"resumed from {args.checkpoint} at round "
+                f"{router.rounds_completed}/{config.num_rounds}",
+                file=sys.stderr,
+            )
+        on_round_end = checkpoint_hook(args.checkpoint)
+    result = router.run(on_round_end=on_round_end)
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, default=float))
     else:

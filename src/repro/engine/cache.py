@@ -27,8 +27,8 @@ would reproduce the tree (the region scope is a very good heuristic).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +37,38 @@ from repro.core.instance import instance_signature
 from repro.engine.scheduler import BoundingBox
 from repro.grid.graph import RoutingGraph
 
-__all__ = ["CacheStats", "RerouteCache"]
+if TYPE_CHECKING:  # circular at runtime: tree.py does not import the engine
+    from repro.core.tree import EmbeddedTree
+
+__all__ = ["CacheStats", "RerouteCache", "RoundMemo"]
+
+
+@dataclass
+class RoundMemo:
+    """What one rip-up-and-re-route round memoises for later replay.
+
+    ``signatures`` holds every net's *lookup* signature -- the digest
+    computed before the round's oracle call, under the tree the net carried
+    into the round -- and ``trees`` the embedded tree each net held after
+    the round.  A later run over an edited netlist can replay the flow
+    against this memo: a net whose lookup signature at round ``r`` equals
+    the memoised one would receive the exact same tree from the
+    deterministic oracle, so the memoised tree is installed without an
+    oracle call.  This is how :class:`repro.serve.session.RoutingSession`
+    turns an ECO delta into an incremental re-route whose outcome is
+    bit-identical to a cold run of the edited netlist.
+    """
+
+    signatures: Dict[int, bytes] = field(default_factory=dict)
+    trees: Dict[int, "EmbeddedTree"] = field(default_factory=dict)
+
+    def restrict_to(self, keep: Sequence[int]) -> "RoundMemo":
+        """A copy containing only the nets in ``keep`` (indices unchanged)."""
+        wanted = set(keep)
+        return RoundMemo(
+            signatures={i: s for i, s in self.signatures.items() if i in wanted},
+            trees={i: t for i, t in self.trees.items() if i in wanted},
+        )
 
 
 @dataclass
@@ -200,6 +231,16 @@ class RerouteCache:
             self._signatures.clear()
         else:
             self._signatures.pop(net_index, None)
+
+    # --------------------------------------------------------- persistence
+    def export_signatures(self) -> Dict[int, bytes]:
+        """Copy of the stored per-net signatures (for checkpointing)."""
+        return dict(self._signatures)
+
+    def load_signatures(self, signatures: Dict[int, bytes]) -> None:
+        """Replace the stored signatures (the checkpoint-restore inverse of
+        :meth:`export_signatures`); hit/miss statistics are left untouched."""
+        self._signatures = dict(signatures)
 
     def __len__(self) -> int:
         return len(self._signatures)

@@ -33,7 +33,7 @@ from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.oracle import SteinerOracle
 from repro.core.tree import EmbeddedTree
-from repro.engine.cache import RerouteCache
+from repro.engine.cache import RerouteCache, RoundMemo
 from repro.engine.executor import (
     EXECUTOR_BACKENDS,
     BatchExecutor,
@@ -112,6 +112,7 @@ class RoundReport:
     num_batches: int = 0
     nets_routed: int = 0
     nets_cached: int = 0
+    nets_replayed: int = 0
     walltime_seconds: float = 0.0
 
 
@@ -187,12 +188,24 @@ class RoutingEngine:
         round_index: int,
         trees: List[Optional[EmbeddedTree]],
         record: bool = False,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
     ) -> List[SteinerInstance]:
         """Route every net once, updating ``trees`` and the congestion map.
 
         Returns the Steiner instances generated for the round when
         ``record`` is true (in batch order), or an empty list otherwise.
+
+        ``replay_round`` / ``log_round`` drive memoised replays (see
+        :class:`~repro.engine.cache.RoundMemo`): when ``replay_round`` is
+        given, a net whose lookup signature matches the memo reuses the
+        memoised tree instead of calling the oracle, and the ordinary
+        inter-round cache bookkeeping is bypassed; when ``log_round`` is
+        given, every net's lookup signature is recorded into it.  Both
+        require the re-route cache to be configured.
         """
+        if (replay_round is not None or log_round is not None) and self.cache is None:
+            raise ValueError("replay/memo rounds require reroute_cache=True")
         report = RoundReport(round_index=round_index)
         started = time.perf_counter()
         collected: List[SteinerInstance] = []
@@ -231,7 +244,27 @@ class RoutingEngine:
                         cost_digest=cost_digest,
                     )
                     signatures[net_index] = sig
-                    if old_tree is not None and self.cache.is_fresh(net_index, sig):
+                    if log_round is not None:
+                        log_round.signatures[net_index] = sig
+                    if replay_round is not None:
+                        # Replay mode: identical lookup signature means the
+                        # deterministic oracle would reproduce the memoised
+                        # tree, so install it without an oracle call.  The
+                        # memo run's usage is not booked here, so the delta
+                        # is applied like a fresh routing.
+                        memo_tree = replay_round.trees.get(net_index)
+                        if (
+                            memo_tree is not None
+                            and replay_round.signatures.get(net_index) == sig
+                        ):
+                            self.congestion.apply_tree_delta(
+                                old_tree.edges if old_tree is not None else None,
+                                memo_tree.edges,
+                            )
+                            trees[net_index] = memo_tree
+                            report.nets_replayed += 1
+                            continue
+                    elif old_tree is not None and self.cache.is_fresh(net_index, sig):
                         # Unchanged instance: the oracle would rebuild the
                         # exact same tree, so keep it (usage already booked).
                         report.nets_cached += 1
@@ -249,7 +282,7 @@ class RoutingEngine:
                     )
                     trees[net_index] = new_tree
                     report.nets_routed += 1
-                if self.cache is not None:
+                if self.cache is not None and replay_round is None:
                     sig = signatures[net_index]
                     if new_tree is not None and self.cache.scope != "global":
                         # Re-digest under the *new* tree's bounding region so

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -162,6 +163,12 @@ def _route_shard(
 class ProcessExecutor(BatchExecutor):
     """Routes batches on a ``multiprocessing`` pool of worker processes.
 
+    When the pool cannot be created at all -- sandboxed and containerised
+    environments routinely forbid ``fork``/semaphores -- the executor
+    degrades to in-process serial routing with a warning instead of
+    crashing the job: every backend produces bit-identical trees, so the
+    fallback only costs parallelism, never correctness.
+
     Parameters
     ----------
     num_workers:
@@ -184,33 +191,45 @@ class ProcessExecutor(BatchExecutor):
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers or min(os.cpu_count() or 2, 8)
         self._pool = None
+        self._pool_unavailable = False
 
     # ----------------------------------------------------------- lifecycle
     def _ensure_pool(self):
-        if self._pool is None:
-            import multiprocessing
-
-            # Prefer fork: workers inherit sys.path (the repo uses a src/
-            # layout that may only exist on the parent's sys.path) and the
-            # initializer payload is then merely a consistency guarantee.
+        """The worker pool, or ``None`` when this environment cannot start
+        one (the degradation is remembered and warned about only once)."""
+        if self._pool is None and not self._pool_unavailable:
             try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
-            payload = pickle.dumps(
-                {
-                    "graph": self.graph,
-                    "oracle": self.oracle,
-                    "bifurcation": self.bifurcation,
-                    "seed": self.seed,
-                },
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-            self._pool = context.Pool(
-                processes=self.num_workers,
-                initializer=_worker_init,
-                initargs=(payload,),
-            )
+                import multiprocessing
+
+                # Prefer fork: workers inherit sys.path (the repo uses a src/
+                # layout that may only exist on the parent's sys.path) and the
+                # initializer payload is then merely a consistency guarantee.
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX platforms
+                    context = multiprocessing.get_context()
+                payload = pickle.dumps(
+                    {
+                        "graph": self.graph,
+                        "oracle": self.oracle,
+                        "bifurcation": self.bifurcation,
+                        "seed": self.seed,
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                self._pool = context.Pool(
+                    processes=self.num_workers,
+                    initializer=_worker_init,
+                    initargs=(payload,),
+                )
+            except (ImportError, OSError, PermissionError, RuntimeError) as exc:
+                self._pool_unavailable = True
+                warnings.warn(
+                    f"multiprocessing pool unavailable ({exc}); the process "
+                    "backend degrades to in-process serial routing",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         return self._pool
 
     def close(self) -> None:
@@ -227,6 +246,9 @@ class ProcessExecutor(BatchExecutor):
             # IPC overhead cannot pay off for a single net.
             return {task.net_index: self._route_one(costs, task) for task in tasks}
         pool = self._ensure_pool()
+        if pool is None:
+            # Degraded mode: no pool could be started in this environment.
+            return {task.net_index: self._route_one(costs, task) for task in tasks}
         shards = self._shard(list(tasks))
         roots = {task.net_index: task.root for task in tasks}
         trees: Dict[int, EmbeddedTree] = {}

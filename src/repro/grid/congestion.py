@@ -178,6 +178,29 @@ class CongestionMap:
         if new_edges is not None:
             self.add_usage(new_edges)
 
+    # --------------------------------------------------------- persistence
+    def state_dict(self) -> Dict[str, object]:
+        """The map's full state as plain values plus one usage array.
+
+        The dict round-trips exactly through :meth:`load_state`; the serve
+        layer's checkpoint format encodes the usage array losslessly, which
+        is what makes resumed runs bit-identical.
+        """
+        return {
+            "overflow_penalty": float(self.overflow_penalty),
+            "threshold": float(self.threshold),
+            "usage": self.usage.copy(),
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a state produced by :meth:`state_dict` (exact inverse)."""
+        usage = np.asarray(state["usage"], dtype=np.float64)
+        if usage.shape != self.usage.shape:
+            raise ValueError("congestion state belongs to a different graph")
+        self.overflow_penalty = float(state["overflow_penalty"])  # type: ignore[arg-type]
+        self.threshold = float(state["threshold"])  # type: ignore[arg-type]
+        self.usage = usage.copy()
+
     # ----------------------------------------------------------- snapshots
     def snapshot(self) -> CongestionSnapshot:
         """A frozen copy of the current usage (see :class:`CongestionSnapshot`)."""

@@ -13,6 +13,18 @@ from repro.instances.generator import (
     generate_steiner_instances,
 )
 from repro.instances.chips import ChipSpec, CHIP_SUITE, build_chip, chip_table, smoke_chip
+from repro.instances.eco import (
+    AddNet,
+    AddSink,
+    EcoOp,
+    EcoResult,
+    MovePin,
+    RemoveNet,
+    RemoveSink,
+    ReweightSink,
+    apply_eco,
+    parse_ops,
+)
 
 __all__ = [
     "NetlistGeneratorConfig",
@@ -23,4 +35,14 @@ __all__ = [
     "build_chip",
     "chip_table",
     "smoke_chip",
+    "EcoOp",
+    "MovePin",
+    "AddSink",
+    "RemoveSink",
+    "AddNet",
+    "RemoveNet",
+    "ReweightSink",
+    "EcoResult",
+    "apply_eco",
+    "parse_ops",
 ]

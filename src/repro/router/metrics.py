@@ -31,7 +31,7 @@ class RoutingResult:
     num_nets: int = 0
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dict view (used by the table formatters)."""
+        """Plain-dict view (the JSON schema served by ``repro.serve``)."""
         return {
             "chip": self.chip,
             "method": self.method,
@@ -43,7 +43,32 @@ class RoutingResult:
             "Walltime": self.walltime_seconds,
             "Overflow": self.overflow,
             "Objective": self.objective,
+            "Nets": self.num_nets,
         }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "RoutingResult":
+        """Rebuild a result from its :meth:`as_dict` record.
+
+        The inverse of :meth:`as_dict`; a record that went through a JSON
+        round-trip reproduces the original result exactly (Python's JSON
+        float encoding is lossless for finite doubles).  ``Overflow``,
+        ``Objective`` and ``Nets`` are optional for compatibility with
+        records written before they were part of the schema.
+        """
+        return cls(
+            chip=str(record["chip"]),
+            method=str(record["method"]),
+            worst_slack=float(record["WS"]),  # type: ignore[arg-type]
+            total_negative_slack=float(record["TNS"]),  # type: ignore[arg-type]
+            ace4=float(record["ACE4"]),  # type: ignore[arg-type]
+            wire_length=float(record["WL"]),  # type: ignore[arg-type]
+            via_count=int(record["Vias"]),  # type: ignore[arg-type]
+            walltime_seconds=float(record["Walltime"]),  # type: ignore[arg-type]
+            overflow=float(record.get("Overflow", 0.0)),  # type: ignore[arg-type]
+            objective=float(record.get("Objective", 0.0)),  # type: ignore[arg-type]
+            num_nets=int(record.get("Nets", 0)),  # type: ignore[arg-type]
+        )
 
 
 def format_result_row(result: RoutingResult) -> str:

@@ -1,0 +1,33 @@
+"""Registry of Steiner oracles by their paper-table abbreviation.
+
+One place maps the ``CD``/``L1``/``SL``/``PD`` names used in result tables,
+CLI flags, and serve-job parameters to oracle classes, so the command line
+and the serve daemon cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.baselines.prim_dijkstra import PrimDijkstraOracle
+from repro.baselines.rsmt import RectilinearSteinerOracle
+from repro.baselines.shallow_light import ShallowLightOracle
+from repro.core.cost_distance import CostDistanceSolver
+from repro.core.oracle import SteinerOracle
+
+__all__ = ["ORACLES", "make_oracle"]
+
+ORACLES: Dict[str, Type[SteinerOracle]] = {
+    "CD": CostDistanceSolver,
+    "L1": RectilinearSteinerOracle,
+    "SL": ShallowLightOracle,
+    "PD": PrimDijkstraOracle,
+}
+
+
+def make_oracle(name: str) -> SteinerOracle:
+    """Instantiate a Steiner oracle by its table abbreviation."""
+    try:
+        return ORACLES[name]()
+    except KeyError:
+        raise ValueError(f"unknown oracle {name!r}; choose from {sorted(ORACLES)}")

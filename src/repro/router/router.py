@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from repro.core.instance import SteinerInstance
 from repro.core.objective import evaluate_tree
 from repro.core.oracle import SteinerOracle
 from repro.core.tree import EmbeddedTree
+from repro.engine.cache import RoundMemo
 from repro.engine.engine import EngineConfig, RoutingEngine
 from repro.engine.rng import derive_net_rng
 from repro.grid.congestion import CongestionMap
@@ -122,23 +123,74 @@ class GlobalRouter:
         self.trees: List[Optional[EmbeddedTree]] = [None] * netlist.num_nets
         self.collected_instances: List[SteinerInstance] = []
         self.timing_report: Optional[TimingReport] = None
+        #: Rounds already routed (and priced).  ``run()`` continues from
+        #: here, which is what makes checkpoint/resume work: restoring a
+        #: checkpoint sets this counter and ``run()`` picks up mid-flow.
+        self.rounds_completed: int = 0
+        #: Per-round memo log of the last ``run(record_log=True)`` (see
+        #: :class:`repro.engine.cache.RoundMemo`); consumed by ECO replays.
+        self.replay_log: Optional[List[RoundMemo]] = None
 
     # ------------------------------------------------------------------ API
-    def run(self) -> RoutingResult:
-        """Run the full flow and return the Table IV/V style metrics."""
+    def run(
+        self,
+        on_round_end: Optional[Callable[["GlobalRouter", int], None]] = None,
+        replay: Optional[Sequence[RoundMemo]] = None,
+        record_log: bool = False,
+    ) -> RoutingResult:
+        """Run the flow from ``rounds_completed`` and return the metrics.
+
+        Parameters
+        ----------
+        on_round_end:
+            Called as ``on_round_end(router, round_index)`` after every
+            completed round (prices already updated).  Checkpoint writers
+            and job-cancellation hooks plug in here; an exception raised by
+            the callback aborts the run after a consistent round boundary.
+        replay:
+            Per-round memos of a previous run over a (slightly) different
+            netlist; nets whose lookup signature is unchanged reuse the
+            memoised tree without an oracle call (requires the engine's
+            re-route cache).
+        record_log:
+            Record this run's per-round memos into :attr:`replay_log`
+            (requires the engine's re-route cache).
+        """
         start = time.perf_counter()
+        if record_log:
+            self.replay_log = []
         try:
-            for round_index in range(self.config.num_rounds):
+            while self.rounds_completed < self.config.num_rounds:
+                round_index = self.rounds_completed
                 final_round = round_index == self.config.num_rounds - 1
+                replay_round = None
+                if replay is not None and round_index < len(replay):
+                    replay_round = replay[round_index]
+                log_round = RoundMemo() if record_log else None
                 self._route_round(
-                    round_index, record=final_round and self.config.record_instances
+                    round_index,
+                    record=final_round and self.config.record_instances,
+                    replay_round=replay_round,
+                    log_round=log_round,
                 )
+                if log_round is not None:
+                    log_round.trees = {
+                        i: tree for i, tree in enumerate(self.trees) if tree is not None
+                    }
+                    self.replay_log.append(log_round)
                 self.timing_report = self._run_sta()
                 if not final_round:
                     self.prices.update_edge_prices(self.congestion)
                     self.prices.update_delay_weights(self.timing_report)
+                self.rounds_completed = round_index + 1
+                if on_round_end is not None:
+                    on_round_end(self, round_index)
         finally:
             self.engine.close()
+        if self.timing_report is None:
+            # Resumed from a checkpoint taken after the final round: the
+            # timing report is a pure function of the restored trees.
+            self.timing_report = self._run_sta()
         walltime = time.perf_counter() - start
         return self._collect_metrics(walltime)
 
@@ -164,6 +216,81 @@ class GlobalRouter:
             name=f"{self.netlist.name}/{self.netlist.nets[net_index].name}",
         )
 
+    # --------------------------------------------------------- checkpointing
+    def export_state(self) -> Dict[str, object]:
+        """Everything that determines the remainder of the flow, in memory.
+
+        The returned dict (numpy arrays included) restores a freshly
+        constructed router to this router's exact mid-flow state via
+        :meth:`import_state`; :mod:`repro.serve.checkpoint` handles the
+        on-disk encoding.  The replay log and collected instances are
+        intentionally excluded -- they are derived artifacts.
+        """
+        trees: List[Optional[Dict[str, object]]] = []
+        for tree in self.trees:
+            if tree is None:
+                trees.append(None)
+            else:
+                trees.append(
+                    {
+                        "root": int(tree.root),
+                        "sinks": [int(s) for s in tree.sinks],
+                        "edges": [int(e) for e in tree.edges],
+                        "method": tree.method,
+                    }
+                )
+        cache_signatures: Optional[Dict[int, bytes]] = None
+        if self.engine.cache is not None:
+            cache_signatures = self.engine.cache.export_signatures()
+        return {
+            "rounds_completed": self.rounds_completed,
+            "trees": trees,
+            "congestion": self.congestion.state_dict(),
+            "edge_prices": self.prices.edge_prices.copy(),
+            "delay_weights": [list(w) for w in self.prices.delay_weights],
+            "cache_signatures": cache_signatures,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore a state exported by :meth:`export_state` (exact inverse)."""
+        trees = state["trees"]
+        if len(trees) != self.netlist.num_nets:  # type: ignore[arg-type]
+            raise ValueError(
+                "checkpoint state has a different net count than this netlist"
+            )
+        restored: List[Optional[EmbeddedTree]] = []
+        for record in trees:  # type: ignore[union-attr]
+            if record is None:
+                restored.append(None)
+                continue
+            tree = EmbeddedTree(
+                self.graph,
+                int(record["root"]),
+                tuple(int(s) for s in record["sinks"]),
+                tuple(int(e) for e in record["edges"]),
+                str(record["method"]),
+            )
+            restored.append(tree)
+        self.congestion.load_state(state["congestion"])  # type: ignore[arg-type]
+        edge_prices = np.asarray(state["edge_prices"], dtype=np.float64)
+        if edge_prices.shape != self.prices.edge_prices.shape:
+            raise ValueError("checkpoint edge prices do not match this graph")
+        delay_weights = [
+            [float(w) for w in weights] for weights in state["delay_weights"]  # type: ignore[union-attr]
+        ]
+        if [len(w) for w in delay_weights] != [
+            net.num_sinks for net in self.netlist.nets
+        ]:
+            raise ValueError("checkpoint delay weights do not match this netlist")
+        self.trees = restored
+        self.prices.edge_prices = edge_prices.copy()
+        self.prices.delay_weights = delay_weights
+        self.rounds_completed = int(state["rounds_completed"])  # type: ignore[arg-type]
+        signatures = state.get("cache_signatures")
+        if signatures is not None and self.engine.cache is not None:
+            self.engine.cache.load_signatures(signatures)  # type: ignore[arg-type]
+        self.timing_report = None
+
     # ------------------------------------------------------------ internals
     def _make_bifurcation(self) -> BifurcationModel:
         dbif = self.config.dbif
@@ -174,9 +301,21 @@ class GlobalRouter:
     def _current_costs(self) -> np.ndarray:
         return self.prices.edge_costs(self.congestion)
 
-    def _route_round(self, round_index: int, record: bool) -> None:
+    def _route_round(
+        self,
+        round_index: int,
+        record: bool,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
+    ) -> None:
         """Route every net once, delegating batching and execution to the engine."""
-        recorded = self.engine.route_round(round_index, self.trees, record=record)
+        recorded = self.engine.route_round(
+            round_index,
+            self.trees,
+            record=record,
+            replay_round=replay_round,
+            log_round=log_round,
+        )
         if record:
             self.collected_instances.extend(recorded)
 

@@ -1,0 +1,48 @@
+"""The routing service layer.
+
+``repro.serve`` turns the one-shot routing flow into an amortised service:
+
+* :mod:`~repro.serve.checkpoint` -- versioned on-disk snapshots of a run;
+  an interrupted flow resumes bit for bit.
+* :mod:`~repro.serve.session` -- :class:`RoutingSession`, a long-lived
+  wrapper that absorbs ECO netlist deltas and re-routes only the dirty-net
+  closure by replaying against per-round memos.
+* :mod:`~repro.serve.jobs` / :mod:`~repro.serve.daemon` -- a persistent job
+  store and a stdlib-only JSON-lines daemon multiplexing concurrent routing
+  jobs across engine backends.
+* :mod:`~repro.serve.client` -- the matching client, used by the
+  ``python -m repro serve|submit|status|result|eco`` subcommands.
+"""
+
+from repro.serve.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    checkpoint_hook,
+    load_checkpoint,
+    resume_router,
+    save_checkpoint,
+)
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
+from repro.serve.jobs import Job, JobCancelled, JobState, JobStore
+from repro.serve.session import EcoReport, RoutingSession
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "checkpoint_hook",
+    "load_checkpoint",
+    "resume_router",
+    "save_checkpoint",
+    "ServeClient",
+    "ServeError",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServeDaemon",
+    "Job",
+    "JobCancelled",
+    "JobState",
+    "JobStore",
+    "EcoReport",
+    "RoutingSession",
+]

@@ -1,0 +1,211 @@
+"""Command-line surface of the routing service.
+
+Implements the ``python -m repro serve|submit|status|result|eco|shutdown``
+subcommands on top of :class:`~repro.serve.daemon.ServeDaemon` and
+:class:`~repro.serve.client.ServeClient`.  All query output is JSON on
+stdout (one document per invocation) so shell pipelines and the CI smoke
+job can consume it; progress chatter goes to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
+from repro.serve.jobs import JobState
+
+__all__ = ["SERVE_COMMANDS", "main"]
+
+#: Subcommand names dispatched away from the legacy one-shot CLI.
+SERVE_COMMANDS = ("serve", "submit", "status", "result", "eco", "shutdown")
+
+
+def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default=DEFAULT_HOST, help="daemon host")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="daemon port")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Routing service subcommands (see 'python -m repro --help' "
+        "for the one-shot flow).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the routing daemon in the foreground")
+    _add_endpoint_arguments(serve)
+    serve.add_argument(
+        "--job-workers", type=int, default=2, help="concurrent routing jobs"
+    )
+    serve.add_argument(
+        "--state-dir", default=None, help="persist job records under this directory"
+    )
+
+    submit = commands.add_parser("submit", help="submit a routing job")
+    _add_endpoint_arguments(submit)
+    submit.add_argument("--chip", default="c1", help="chip of the synthetic suite")
+    submit.add_argument("--oracle", default="CD", help="Steiner oracle (CD/L1/SL/PD)")
+    submit.add_argument("--rounds", type=int, default=2, help="resource-sharing rounds")
+    submit.add_argument("--seed", type=int, default=0, help="routing seed")
+    submit.add_argument("--net-scale", type=float, default=1.0, help="net count scale")
+    submit.add_argument(
+        "--backend", default="serial", choices=["serial", "process"], help="engine backend"
+    )
+    submit.add_argument("--workers", type=int, default=None, help="process-pool size")
+    submit.add_argument(
+        "--scheduling", default="window", choices=["window", "bbox"], help="batch policy"
+    )
+    submit.add_argument("--cache", action="store_true", help="enable the re-route cache")
+    submit.add_argument(
+        "--cache-scope", default="bbox", choices=["bbox", "global"], help="cache scope"
+    )
+    submit.add_argument(
+        "--session",
+        default=None,
+        help="open a persistent session under this name (target of later eco jobs)",
+    )
+    submit.add_argument("--wait", action="store_true", help="block until the job finishes")
+    submit.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
+
+    status = commands.add_parser("status", help="query job status")
+    _add_endpoint_arguments(status)
+    status.add_argument("job_id", nargs="?", help="job id (omit with --all)")
+    status.add_argument("--all", action="store_true", help="list all jobs")
+
+    result = commands.add_parser("result", help="fetch a job's result")
+    _add_endpoint_arguments(result)
+    result.add_argument("job_id", help="job id")
+    result.add_argument("--wait", action="store_true", help="block until terminal")
+    result.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
+
+    eco = commands.add_parser("eco", help="submit an ECO delta against a session")
+    _add_endpoint_arguments(eco)
+    eco.add_argument("--session", required=True, help="target session name")
+    eco.add_argument("--ops", default=None, help="JSON list of ECO ops")
+    eco.add_argument("--ops-file", default=None, help="file with a JSON list of ECO ops")
+    eco.add_argument("--wait", action="store_true", help="block until the job finishes")
+    eco.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
+
+    shutdown = commands.add_parser("shutdown", help="stop the daemon")
+    _add_endpoint_arguments(shutdown)
+
+    return parser
+
+
+def _emit(document: object) -> None:
+    print(json.dumps(document, indent=2, default=float))
+
+
+def _finish(job: Dict[str, object]) -> int:
+    _emit(job)
+    return 0 if job.get("status") == JobState.DONE else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+        state_dir=args.state_dir,
+    )
+    host, port = daemon.address
+    print(f"repro routing daemon listening on {host}:{port}", file=sys.stderr)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        daemon.shutdown()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    params: Dict[str, object] = {
+        "chip": args.chip,
+        "oracle": args.oracle,
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "net_scale": args.net_scale,
+        "backend": args.backend,
+        "workers": args.workers,
+        "scheduling": args.scheduling,
+        "cache": args.cache,
+        "cache_scope": args.cache_scope,
+    }
+    if args.session:
+        params["session"] = args.session
+    job_id = client.submit_route(**params)
+    if args.wait:
+        return _finish(client.wait(job_id, timeout=args.timeout))
+    _emit({"job_id": job_id})
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    if args.all or args.job_id is None:
+        _emit(client.jobs())
+    else:
+        _emit(client.status(args.job_id))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    if args.wait:
+        return _finish(client.wait(args.job_id, timeout=args.timeout))
+    return _finish(client.result(args.job_id))
+
+
+def _load_ops(args: argparse.Namespace) -> List[Dict[str, object]]:
+    if (args.ops is None) == (args.ops_file is None):
+        raise ServeError("pass exactly one of --ops or --ops-file")
+    if args.ops is not None:
+        text = args.ops
+    else:
+        with open(args.ops_file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    ops = json.loads(text)
+    if not isinstance(ops, list) or not all(isinstance(op, dict) for op in ops):
+        raise ServeError("ECO ops must be a JSON list of objects")
+    return ops
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    job_id = client.submit_eco(args.session, _load_ops(args))
+    if args.wait:
+        return _finish(client.wait(job_id, timeout=args.timeout))
+    _emit({"job_id": job_id})
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    ServeClient(args.host, args.port).shutdown()
+    print("daemon stopping", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
+    "eco": _cmd_eco,
+    "shutdown": _cmd_shutdown,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ServeError, OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,352 @@
+"""The routing service daemon: JSON-lines over TCP, stdlib only.
+
+:class:`ServeDaemon` multiplexes concurrent routing jobs across engine
+backends.  A ``ThreadingTCPServer`` answers one JSON object per line
+(``submit`` / ``status`` / ``result`` / ``cancel`` / ``jobs`` / ``sessions``
+/ ``ping`` / ``shutdown``); actual routing runs on a small worker pool, so
+slow jobs never block the control plane.  Each job is either a full route
+(optionally opening a named persistent :class:`~repro.serve.session.RoutingSession`)
+or an ECO delta against an existing session.
+
+Cancellation is two-tier: a queued job's future is cancelled outright, a
+running job is stopped cooperatively at its next round boundary (the
+router's ``on_round_end`` hook raises :class:`~repro.serve.jobs.JobCancelled`),
+which leaves no half-applied congestion state behind.
+
+The wire protocol is deliberately primitive -- newline-delimited JSON over a
+localhost socket -- so ``nc``/``telnet`` can poke it and the client needs
+nothing beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.engine import EngineConfig
+from repro.instances.chips import CHIP_SUITE, build_chip
+from repro.router.oracles import make_oracle
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.jobs import JobCancelled, JobState, JobStore
+from repro.serve.session import RoutingSession
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ServeDaemon"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+def _engine_config_from_params(params: Dict[str, object]) -> EngineConfig:
+    return EngineConfig(
+        backend=str(params.get("backend", "serial")),
+        num_workers=params.get("workers"),  # type: ignore[arg-type]
+        scheduling=str(params.get("scheduling", "window")),
+        reroute_cache=bool(params.get("cache", False)),
+        cache_scope=str(params.get("cache_scope", "bbox")),
+    )
+
+
+def _router_config_from_params(params: Dict[str, object]) -> GlobalRouterConfig:
+    return GlobalRouterConfig(
+        num_rounds=int(params.get("rounds", 2)),  # type: ignore[arg-type]
+        seed=int(params.get("seed", 0)),  # type: ignore[arg-type]
+        engine=_engine_config_from_params(params),
+    )
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: any number of JSON-line requests until EOF."""
+
+    def handle(self) -> None:
+        daemon: "ServeDaemon" = self.server.daemon_ref  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline()
+            except (OSError, ValueError):
+                return
+            if not line:
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+                response = daemon.handle(request)
+            except Exception as exc:  # protocol surface: never kill the socket
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            try:
+                self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+                self.wfile.flush()
+            except (OSError, ValueError):
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServeDaemon:
+    """The routing service: job store + worker pool + TCP control plane.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` after construction).
+    job_workers:
+        Concurrent routing jobs (each may itself fan out over a process
+        pool when its engine backend says so).
+    state_dir:
+        Optional directory for job persistence across daemon restarts.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        job_workers: int = 2,
+        state_dir: Optional[str] = None,
+    ) -> None:
+        if job_workers < 1:
+            raise ValueError("job_workers must be positive")
+        self.store = JobStore(state_dir)
+        #: ``None`` marks a name reserved by a route job still in flight.
+        self.sessions: Dict[str, Optional[RoutingSession]] = {}
+        self._session_locks: Dict[str, threading.Lock] = {}
+        self._sessions_guard = threading.Lock()
+        self._futures: Dict[str, Future] = {}
+        self._cancel_flags: Dict[str, threading.Event] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-serve"
+        )
+        self._server = _Server((host, port), _Handler)
+        self._server.daemon_ref = self  # type: ignore[attr-defined]
+        self._serve_thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound ``(host, port)``."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (CLI mode)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve on a background thread; returns the bound address."""
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve-accept", daemon=True
+        )
+        self._serve_thread.start()
+        return self.address
+
+    def shutdown(self) -> None:
+        """Stop accepting requests and release all resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for event in self._cancel_flags.values():
+            event.set()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ServeDaemon":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------- protocol
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Dispatch one request object to its ``op`` handler."""
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None or not isinstance(op, str) or op.startswith("_"):
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        return handler(request)
+
+    def _op_ping(self, request: Dict[str, object]) -> Dict[str, object]:
+        with self._sessions_guard:
+            session_names = sorted(
+                name for name, session in self.sessions.items() if session is not None
+            )
+        return {
+            "ok": True,
+            "pong": True,
+            "jobs": self.store.counts(),
+            "sessions": session_names,
+        }
+
+    def _op_submit(self, request: Dict[str, object]) -> Dict[str, object]:
+        kind = request.get("kind")
+        if kind not in ("route", "eco"):
+            return {"ok": False, "error": f"unknown job kind {kind!r}"}
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            return {"ok": False, "error": "params must be a JSON object"}
+        job = self.store.submit(str(kind), params)
+        self._cancel_flags[job.job_id] = threading.Event()
+        self._futures[job.job_id] = self._pool.submit(self._run_job, job.job_id)
+        return {"ok": True, "job_id": job.job_id}
+
+    def _op_status(self, request: Dict[str, object]) -> Dict[str, object]:
+        snapshot = self.store.snapshot(str(request.get("job_id")), with_result=False)
+        return {"ok": True, "job": snapshot}
+
+    def _op_result(self, request: Dict[str, object]) -> Dict[str, object]:
+        snapshot = self.store.snapshot(str(request.get("job_id")), with_result=True)
+        return {"ok": True, "job": snapshot}
+
+    def _op_cancel(self, request: Dict[str, object]) -> Dict[str, object]:
+        job_id = str(request.get("job_id"))
+        job = self.store.get(job_id)  # raises for unknown ids
+        future = self._futures.get(job_id)
+        if future is not None and future.cancel():
+            self.store.mark_cancelled(job_id)
+            return {"ok": True, "status": JobState.CANCELLED}
+        flag = self._cancel_flags.get(job_id)
+        if flag is not None:
+            flag.set()
+        return {"ok": True, "status": self.store.get(job_id).status}
+
+    def _op_jobs(self, request: Dict[str, object]) -> Dict[str, object]:
+        return {"ok": True, "jobs": self.store.snapshots(with_result=False)}
+
+    def _op_sessions(self, request: Dict[str, object]) -> Dict[str, object]:
+        with self._sessions_guard:
+            sessions = [
+                {
+                    "name": session.name,
+                    "nets": session.num_nets,
+                    "generation": session.generation,
+                }
+                for session in self.sessions.values()
+                if session is not None
+            ]
+        return {"ok": True, "sessions": sorted(sessions, key=lambda s: s["name"])}
+
+    def _op_shutdown(self, request: Dict[str, object]) -> Dict[str, object]:
+        # Respond first, then tear down from a separate thread so the
+        # handler's socket write is not racing the server close.
+        threading.Thread(target=self.shutdown, name="repro-serve-stop").start()
+        return {"ok": True, "stopping": True}
+
+    # ------------------------------------------------------------ job logic
+    def _run_job(self, job_id: str) -> None:
+        cancel = self._cancel_flags[job_id]
+        try:
+            if cancel.is_set():
+                raise JobCancelled()
+            self.store.mark_running(job_id)
+            job = self.store.get(job_id)
+            if job.kind == "route":
+                result = self._run_route(job.params, cancel)
+            else:
+                result = self._run_eco(job.params, cancel)
+            self.store.mark_done(job_id, result)
+        except JobCancelled:
+            self.store.mark_cancelled(job_id)
+        except Exception as exc:
+            self.store.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+        finally:
+            self._futures.pop(job_id, None)
+            self._cancel_flags.pop(job_id, None)
+
+    @staticmethod
+    def _cancel_hook(cancel: threading.Event):
+        def hook(router: GlobalRouter, round_index: int) -> None:
+            if cancel.is_set():
+                raise JobCancelled()
+
+        return hook
+
+    def _run_route(
+        self, params: Dict[str, object], cancel: threading.Event
+    ) -> Dict[str, object]:
+        chip_name = str(params.get("chip", "c1"))
+        spec = next((s for s in CHIP_SUITE if s.name == chip_name), None)
+        if spec is None:
+            raise ValueError(f"unknown chip {chip_name!r}")
+        net_scale = float(params.get("net_scale", 1.0))  # type: ignore[arg-type]
+        if net_scale != 1.0:
+            spec = spec.scaled(net_scale)
+        graph, netlist = build_chip(spec)
+        oracle = make_oracle(str(params.get("oracle", "CD")))
+        config = _router_config_from_params(params)
+        session_name = params.get("session")
+        if session_name is not None:
+            session_name = str(session_name)
+            # Reserve the name atomically so two concurrent route jobs
+            # cannot both pass the duplicate check and race the insert.
+            with self._sessions_guard:
+                if session_name in self.sessions:
+                    raise ValueError(
+                        f"session {session_name!r} already exists; submit an "
+                        "eco job against it instead"
+                    )
+                self.sessions[session_name] = None
+            try:
+                session = RoutingSession(
+                    graph, netlist, oracle, config, name=session_name
+                )
+                result = session.route(on_round_end=self._cancel_hook(cancel))
+            except BaseException:
+                with self._sessions_guard:
+                    if self.sessions.get(session_name) is None:
+                        self.sessions.pop(session_name, None)
+                raise
+            with self._sessions_guard:
+                self.sessions[session_name] = session
+                self._session_locks[session_name] = threading.Lock()
+            return {
+                "result": result.as_dict(),
+                "session": session_name,
+                "backend": session.config.engine.backend,
+            }
+        router = GlobalRouter(graph, netlist, oracle, config)
+        result = router.run(on_round_end=self._cancel_hook(cancel))
+        payload: Dict[str, object] = {
+            "result": result.as_dict(),
+            "session": None,
+            "backend": config.engine.backend,
+        }
+        if router.engine.cache is not None:
+            stats = router.engine.cache.stats
+            payload["cache"] = {"hits": stats.hits, "lookups": stats.lookups}
+        return payload
+
+    def _run_eco(
+        self, params: Dict[str, object], cancel: threading.Event
+    ) -> Dict[str, object]:
+        session_name = str(params.get("session"))
+        with self._sessions_guard:
+            if self.sessions.get(session_name, "absent") is None:
+                raise ValueError(
+                    f"session {session_name!r} is still being created; retry "
+                    "once its route job finishes"
+                )
+            session = self.sessions.get(session_name)
+            lock = self._session_locks.get(session_name)
+        if session is None or lock is None:
+            raise ValueError(f"unknown session {session_name!r}")
+        ops = params.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise ValueError("eco jobs need a non-empty 'ops' list")
+        with lock:  # ECOs against one session are serialised
+            report = session.apply_eco(ops, on_round_end=self._cancel_hook(cancel))
+        payload = report.as_dict()
+        payload["session"] = session_name
+        return payload

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import ORACLES, build_parser, main, make_oracle
+from repro.serve.daemon import ServeDaemon
 
 
 class TestParser:
@@ -44,4 +45,80 @@ class TestMain:
         record = json.loads(capsys.readouterr().out)
         assert record["chip"] == "c1"
         assert record["method"] == "CD"
-        assert "WS" in record and "Walltime" in record
+        assert "WS" in record and "Walltime" in record and "Nets" in record
+
+    def test_checkpoint_flag_writes_and_resumes(self, capsys, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        args = ["--chip", "c1", "--net-scale", "0.1", "--json", "--checkpoint", path]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert (tmp_path / "run.ckpt").exists()
+        # Resuming a completed checkpoint skips routing and reproduces the
+        # metrics (walltime aside).
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resumed from" in captured.err
+        second = json.loads(captured.out)
+        for field in ("WS", "TNS", "ACE4", "WL", "Vias", "Overflow", "Objective"):
+            assert second[field] == first[field]
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestServeSubcommands:
+    @pytest.fixture()
+    def daemon(self):
+        daemon = ServeDaemon(port=0, job_workers=1)
+        daemon.start()
+        yield daemon
+        daemon.shutdown()
+
+    def endpoint(self, daemon):
+        host, port = daemon.address
+        return ["--host", host, "--port", str(port)]
+
+    def test_submit_status_result_eco_flow(self, capsys, daemon):
+        endpoint = self.endpoint(daemon)
+        assert (
+            main(
+                ["submit", *endpoint, "--chip", "c1", "--net-scale", "0.1",
+                 "--rounds", "1", "--session", "cli", "--wait"]
+            )
+            == 0
+        )
+        job = json.loads(capsys.readouterr().out)
+        assert job["status"] == "done"
+        assert job["result"]["result"]["chip"] == "c1"
+        job_id = job["job_id"]
+
+        assert main(["status", *endpoint, job_id]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "done"
+        assert main(["status", *endpoint, "--all"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+        assert main(["result", *endpoint, job_id]) == 0
+        assert json.loads(capsys.readouterr().out)["result"]["session"] == "cli"
+
+        ops = json.dumps(
+            [{"op": "move_pin", "net": "n0", "pin": "n0:s0", "x": 1, "y": 1}]
+        )
+        assert main(["eco", *endpoint, "--session", "cli", "--ops", ops, "--wait"]) == 0
+        eco_job = json.loads(capsys.readouterr().out)
+        assert eco_job["status"] == "done"
+        assert eco_job["result"]["touched"] == ["n0"]
+
+    def test_eco_ops_validation(self, capsys, daemon):
+        endpoint = self.endpoint(daemon)
+        assert main(["eco", *endpoint, "--session", "s"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+        assert main(["eco", *endpoint, "--session", "s", "--ops", "{}"]) == 2
+        assert "JSON list" in capsys.readouterr().err
+
+    def test_shutdown_subcommand(self, capsys, daemon):
+        assert main(["shutdown", *self.endpoint(daemon)]) == 0
+        assert "stopping" in capsys.readouterr().err
+
+    def test_unreachable_daemon_is_an_error(self, capsys):
+        assert main(["status", "--port", "1", "--all"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -209,6 +209,30 @@ class TestExecutors:
         process.close()
         process.close()
 
+    def test_degrades_to_serial_when_pool_unavailable(self, setup, monkeypatch):
+        """Sandboxed/no-fork environments warn and route in-process."""
+        import multiprocessing
+
+        graph, tasks, costs = setup
+
+        def broken_context(*args, **kwargs):
+            raise OSError("forking is forbidden here")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken_context)
+        serial = SerialExecutor(graph, CostDistanceSolver(), BifurcationModel(), 0)
+        expected = serial.route_batch(costs, tasks)
+        with ProcessExecutor(
+            graph, CostDistanceSolver(), BifurcationModel(), 0, num_workers=2
+        ) as process:
+            with pytest.warns(RuntimeWarning, match="degrades to in-process"):
+                actual = process.route_batch(costs, tasks)
+            assert process._pool is None
+            # The degradation is remembered: no second warning, same trees.
+            again = process.route_batch(costs, tasks)
+        for net_index, tree in expected.items():
+            assert actual[net_index].edges == tree.edges
+            assert again[net_index].edges == tree.edges
+
 
 class TestCongestionSnapshot:
     def test_snapshot_is_frozen(self, small_graph):
@@ -293,6 +317,36 @@ class TestInstancePayload:
         inside[3] += 7.0
         assert instance.with_costs(inside).signature(region_edges=region) != base
 
+    def test_signature_stable_across_equivalent_payload_round_trips(
+        self, instance_factory
+    ):
+        """Equal-value payloads digest identically however they travelled:
+        list vs. tuple containers, float32 vs. float64 cost dtypes, and a
+        pickle round-trip (the process-backend wire format) all produce
+        the same signature."""
+        import pickle
+
+        instance = instance_factory(num_sinks=3, dbif=2.0)
+        task = NetTask(
+            0, instance.root, tuple(instance.sinks), tuple(instance.weights)
+        )
+        payload = task.payload(instance.cost, instance.bifurcation)
+        base = SteinerInstance.from_payload(instance.graph, payload).signature()
+
+        listy = dict(payload)
+        listy["sinks"] = list(payload["sinks"])
+        listy["weights"] = list(payload["weights"])
+        assert SteinerInstance.from_payload(instance.graph, listy).signature() == base
+
+        downcast = dict(payload)
+        downcast["cost"] = payload["cost"].astype(np.float32).astype(np.float64)
+        assert (
+            SteinerInstance.from_payload(instance.graph, downcast).signature() == base
+        )
+
+        pickled = pickle.loads(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        assert SteinerInstance.from_payload(instance.graph, pickled).signature() == base
+
 
 class TestRerouteCache:
     @pytest.fixture()
@@ -362,6 +416,37 @@ class TestRerouteCache:
         cache.store(1, sig)
         cache.invalidate()
         assert len(cache) == 0
+
+    def test_invalidation_after_apply_tree_delta(self, cache, small_graph):
+        """Congestion changes from another net's re-route dirty exactly the
+        nets whose priced costs changed inside their bounding region."""
+        congestion = CongestionMap(small_graph)
+        costs = congestion.edge_costs()
+        near = cache.signature(0, 0, [5], [0.2], costs, BifurcationModel())
+        far_node = small_graph.node_index(9, 9, 0)
+        far = cache.signature(
+            1, far_node, [far_node], [0.2], costs, BifurcationModel()
+        )
+        cache.store(0, near)
+        cache.store(1, far)
+        # Re-route "another net" through the corner of box 0: push an edge
+        # incident to node 0 far over its congestion threshold.
+        edge_near_origin = small_graph.adjacency[0][0][0]
+        capacity = float(small_graph.edge_capacity[edge_near_origin])
+        congestion.apply_tree_delta(None, [edge_near_origin] * int(2 * capacity + 2))
+        changed = congestion.edge_costs()
+        assert not cache.is_fresh(
+            0, cache.signature(0, 0, [5], [0.2], changed, BifurcationModel())
+        )
+        assert cache.is_fresh(
+            1, cache.signature(1, far_node, [far_node], [0.2], changed, BifurcationModel())
+        )
+        # Ripping the tree back up restores the costs and the signature.
+        congestion.apply_tree_delta([edge_near_origin] * int(2 * capacity + 2), None)
+        restored = congestion.edge_costs()
+        assert cache.is_fresh(
+            0, cache.signature(0, 0, [5], [0.2], restored, BifurcationModel())
+        )
 
     def test_global_scope_digests_everything(self, small_graph):
         cache = RerouteCache(
