@@ -1,0 +1,273 @@
+"""Benchmark trajectory: machine-readable metrics for the CI pipeline.
+
+Runs a fixed set of benchmark scenarios and emits one JSON document
+(``BENCH_pr.json``) holding, per scenario, two metric groups:
+
+* ``metrics`` -- everything measured, including wall-clock numbers and
+  throughput.  Informational: CI machines differ, so time is recorded but
+  never gated.
+* ``tracked`` -- the deterministic quality metrics the tier-1 suite also
+  guards (wire length, overflow, ACE4, via count).  These are pure
+  functions of the code, so any drift is a real behaviour change; the CI
+  ``bench-trajectory`` job fails when a tracked metric regresses by more
+  than 20% against the committed baseline
+  (``benchmarks/results/BENCH_baseline.json``).
+
+Usage::
+
+    python benchmarks/trajectory.py --output BENCH_pr.json
+    python benchmarks/trajectory.py --output BENCH_pr.json \
+        --baseline benchmarks/results/BENCH_baseline.json --check
+    python benchmarks/trajectory.py --update-baseline   # refresh the baseline
+
+``REPRO_BENCH_SCALE`` scales the workloads exactly like the pytest
+benchmark suite (the committed baseline is recorded at the CI scale 0.3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from benchmarks.conftest import bench_scale  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_baseline.json"
+)
+#: Allowed relative regression of a tracked metric before CI fails.
+TOLERANCE = 0.20
+#: Tracked metrics are lower-is-better; values this close to zero are
+#: compared absolutely instead of relatively.
+EPSILON = 1e-9
+
+
+def _result_metrics(result) -> Dict[str, float]:
+    return {
+        "wire_length": result.wire_length,
+        "via_count": float(result.via_count),
+        "overflow": result.overflow,
+        "ace4": result.ace4,
+    }
+
+
+def scenario_engine_modes() -> List[Dict[str, object]]:
+    """Serial vs cached routing of the smoke chip (determinism tripwire)."""
+    from repro.core.cost_distance import CostDistanceSolver
+    from repro.engine.engine import EngineConfig
+    from repro.instances.chips import build_chip, smoke_chip
+    from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+    graph, netlist = build_chip(smoke_chip(bench_scale()))
+    records = []
+    for name, engine in (
+        ("engine_serial", EngineConfig()),
+        ("engine_cached", EngineConfig(reroute_cache=True, cache_scope="global")),
+    ):
+        started = time.perf_counter()
+        router = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=3, engine=engine),
+        )
+        result = router.run()
+        walltime = time.perf_counter() - started
+        metrics: Dict[str, float] = {"walltime_seconds": round(walltime, 4)}
+        if router.engine.cache is not None:
+            metrics["cache_hit_rate"] = round(router.engine.cache.stats.hit_rate, 4)
+        records.append(
+            {"name": name, "metrics": metrics, "tracked": _result_metrics(result)}
+        )
+    return records
+
+
+def scenario_serve_throughput() -> List[Dict[str, object]]:
+    """Jobs/second through an in-process daemon (informational only)."""
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ServeDaemon
+
+    num_jobs = 4
+    daemon = ServeDaemon(port=0, job_workers=2)
+    host, port = daemon.start()
+    try:
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        started = time.perf_counter()
+        job_ids = [
+            client.submit_route(chip="c1", net_scale=0.2, rounds=1, seed=seed)
+            for seed in range(num_jobs)
+        ]
+        for job_id in job_ids:
+            record = client.wait(job_id, timeout=600)
+            if record["status"] != "done":
+                raise RuntimeError(f"serve job failed: {record}")
+        elapsed = time.perf_counter() - started
+    finally:
+        daemon.shutdown()
+    return [
+        {
+            "name": "serve_throughput",
+            "metrics": {
+                "jobs": num_jobs,
+                "jobs_per_second": round(num_jobs / elapsed, 3),
+                "walltime_seconds": round(elapsed, 4),
+            },
+            "tracked": {},
+        }
+    ]
+
+
+def scenario_shard_scaling() -> List[Dict[str, object]]:
+    """1-shard vs 4-shard routing of the large chip (best of two runs)."""
+    from repro.core.cost_distance import CostDistanceSolver
+    from repro.instances.chips import large_chip
+    from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+    # Sharding is a large-design feature; the scale is floored like in
+    # benchmarks/test_shard_scaling.py.
+    graph, netlist = large_chip(max(0.8, bench_scale()))
+
+    def best_run(**config):
+        best = None
+        for _ in range(2):
+            started = time.perf_counter()
+            router = GlobalRouter(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(num_rounds=3, **config),
+            )
+            result = router.run()
+            walltime = time.perf_counter() - started
+            if best is None or walltime < best[1]:
+                best = (result, walltime)
+        return best
+
+    base, base_time = best_run()
+    sharded, shard_time = best_run(shards=4)
+    speedup = base_time / shard_time
+    tracked = {f"base_{k}": v for k, v in _result_metrics(base).items()}
+    tracked.update({f"shard_{k}": v for k, v in _result_metrics(sharded).items()})
+    return [
+        {
+            "name": "shard_scaling",
+            "metrics": {
+                "shards": 4,
+                "nets": netlist.num_nets,
+                "base_walltime_seconds": round(base_time, 4),
+                "shard_walltime_seconds": round(shard_time, 4),
+                "shard_speedup": round(speedup, 3),
+                "seam_wl_delta": sharded.wire_length - base.wire_length,
+                "seam_overflow_delta": sharded.overflow - base.overflow,
+            },
+            "tracked": tracked,
+        }
+    ]
+
+
+def run_trajectory() -> Dict[str, object]:
+    records: List[Dict[str, object]] = []
+    records.extend(scenario_engine_modes())
+    records.extend(scenario_serve_throughput())
+    records.extend(scenario_shard_scaling())
+    return {
+        "schema": SCHEMA_VERSION,
+        "bench_scale": bench_scale(),
+        "benchmarks": records,
+    }
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object]) -> List[str]:
+    """Tracked-metric regressions of ``current`` against ``baseline``.
+
+    All tracked metrics are lower-is-better.  Returns human-readable
+    failure lines (empty = pass).  Scenarios or metrics absent from the
+    baseline are skipped, so adding benchmarks never breaks CI; a metric
+    that *disappears* from the current run fails, so coverage cannot
+    silently shrink.
+    """
+    failures: List[str] = []
+    if baseline.get("bench_scale") != current.get("bench_scale"):
+        failures.append(
+            f"bench scale mismatch: baseline {baseline.get('bench_scale')} "
+            f"vs current {current.get('bench_scale')} (set REPRO_BENCH_SCALE)"
+        )
+        return failures
+    current_by_name = {b["name"]: b for b in current["benchmarks"]}  # type: ignore[index]
+    for base_bench in baseline.get("benchmarks", []):  # type: ignore[union-attr]
+        name = base_bench["name"]
+        tracked_base = base_bench.get("tracked", {})
+        if not tracked_base:
+            continue
+        current_bench = current_by_name.get(name)
+        if current_bench is None:
+            failures.append(f"{name}: benchmark disappeared from the trajectory")
+            continue
+        tracked_now = current_bench.get("tracked", {})
+        for metric, base_value in tracked_base.items():
+            if metric not in tracked_now:
+                failures.append(f"{name}.{metric}: metric disappeared")
+                continue
+            now = float(tracked_now[metric])
+            base_value = float(base_value)
+            limit = base_value * (1.0 + TOLERANCE) + EPSILON
+            if now > limit:
+                failures.append(
+                    f"{name}.{metric}: {now:.4f} regressed past "
+                    f"{limit:.4f} (baseline {base_value:.4f}, +{TOLERANCE:.0%})"
+                )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_pr.json", help="trajectory output path")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, help="baseline JSON path")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1) when tracked metrics regress vs the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measured trajectory to the baseline path as well",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_trajectory()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"trajectory written to {args.output}", file=sys.stderr)
+    for bench in document["benchmarks"]:  # type: ignore[union-attr]
+        print(f"  {bench['name']}: {json.dumps(bench['metrics'])}", file=sys.stderr)
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline updated at {args.baseline}", file=sys.stderr)
+        return 0
+
+    if args.check:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except FileNotFoundError:
+            print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+            return 1
+        failures = compare(document, baseline)
+        if failures:
+            print("tracked metric regressions:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("tracked metrics within tolerance of the baseline", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

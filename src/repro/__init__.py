@@ -64,8 +64,11 @@ from repro.engine import (
     RoutingEngine,
     SerialExecutor,
     derive_net_rng,
+    derive_net_rng_for_name,
 )
-from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip
+from repro.grid.partition import RegionPartition, partition_grid
+from repro.shard import ShardCoordinator, ShardStats
+from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip, large_chip
 from repro.instances.generator import generate_netlist, generate_steiner_instances
 
 __version__ = "1.0.0"
@@ -106,9 +109,15 @@ __all__ = [
     "ProcessExecutor",
     "RerouteCache",
     "derive_net_rng",
+    "derive_net_rng_for_name",
+    "RegionPartition",
+    "partition_grid",
+    "ShardCoordinator",
+    "ShardStats",
     "CHIP_SUITE",
     "ChipSpec",
     "build_chip",
+    "large_chip",
     "generate_netlist",
     "generate_steiner_instances",
     "__version__",

@@ -297,18 +297,61 @@ class CostDistanceSolver(SteinerOracle):
         next_tid = 0
         total_active_weight = 0.0
         target_positions: List[int] = []
+        # Planar coordinates of the targets, refreshed together with the
+        # target list: the potential runs once per heap push, so looking the
+        # coordinates up there (8 node_planar calls per push) dominated the
+        # search before they were hoisted to the per-merge refresh.
+        target_coords: List[Tuple[int, int]] = []
+        target_bbox: List[int] = [0, 0, 0, 0]  # xmin, xmax, ymin, ymax
+        planar_tiles = graph.nx * graph.ny
+        grid_nx = graph.nx
+        # Per-tile lower-bound rates of the admissible A* potential (see
+        # FutureCostEstimator.multi_target_potential).
+        if estimator is not None and config.use_future_costs:
+            pot_cost_rate = estimator.min_cost_per_tile
+            pot_delay_rate = estimator.fastest_delay_per_tile
+        else:
+            pot_cost_rate = pot_delay_rate = 0.0
 
         def refresh_targets() -> None:
             target_positions.clear()
             target_positions.append(root_node)
             target_positions.extend(term.node for term in active.values())
+            target_coords.clear()
+            for t in target_positions:
+                rest = t % planar_tiles
+                target_coords.append((rest % grid_nx, rest // grid_nx))
+            xs = [c[0] for c in target_coords]
+            ys = [c[1] for c in target_coords]
+            target_bbox[:] = [min(xs), max(xs), min(ys), max(ys)]
 
         def potential(tid: int, node: int) -> float:
+            """Admissible potential towards the current target set.
+
+            Reproduces ``FutureCostEstimator.multi_target_potential`` (exact
+            nearest-target L1 for up to 8 targets, bounding-box distance
+            beyond) over the precomputed target coordinates.
+            """
             if estimator is None or not config.use_future_costs:
                 return 0.0
-            return estimator.multi_target_potential(
-                node, target_positions, searches[tid].weight
-            )
+            rest = node % planar_tiles
+            ax = rest % grid_nx
+            ay = rest // grid_nx
+            if len(target_coords) <= 8:
+                best = None
+                for bx, by in target_coords:
+                    d = abs(ax - bx) + abs(ay - by)
+                    if best is None or d < best:
+                        best = d
+                        if best == 0:
+                            break
+                l1 = float(best or 0)
+            else:
+                xmin, xmax, ymin, ymax = target_bbox
+                dx = max(0, xmin - ax, ax - xmax)
+                dy = max(0, ymin - ay, ay - ymax)
+                l1 = float(dx + dy)
+            return l1 * (pot_cost_rate + searches[tid].weight * pot_delay_rate)
 
         def merge_penalty(source_tid: int, owner: int) -> float:
             w_u = active[source_tid].weight

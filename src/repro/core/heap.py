@@ -59,18 +59,25 @@ class AddressableBinaryHeap(Generic[K]):
         Returns ``True`` if the item was inserted or its key decreased,
         ``False`` if the existing key was already smaller or equal.
         """
+        return self.insert_or_decrease(item, key) != 0
+
+    def insert_or_decrease(self, item: K, key: float) -> int:
+        """Like :meth:`push` but reports what happened: ``2`` inserted,
+        ``1`` decreased, ``0`` left unchanged.  One hash lookup instead of
+        the separate membership test callers would otherwise need -- this
+        sits on the hottest path of every search."""
         pos = self._position.get(item)
         if pos is None:
             self._keys.append(key)
             self._items.append(item)
             self._position[item] = len(self._items) - 1
             self._sift_up(len(self._items) - 1)
-            return True
+            return 2
         if key < self._keys[pos]:
             self._keys[pos] = key
             self._sift_up(pos)
-            return True
-        return False
+            return 1
+        return 0
 
     def pop(self) -> Tuple[float, K]:
         """Remove and return the minimum (key, item)."""
@@ -176,15 +183,20 @@ class TwoLevelHeap(Generic[K]):
 
     def push(self, search_id: Hashable, item: K, key: float) -> bool:
         """Insert or decrease-key ``item`` in the sub-heap of ``search_id``."""
-        self.add_search(search_id)
-        sub = self._subheaps[search_id]
-        had = item in sub
-        changed = sub.push(item, key)
-        if changed:
-            if not had:
-                self._size += 1
-            self._top.push(search_id, sub.min_key())
-        return changed
+        sub = self._subheaps.get(search_id)
+        if sub is None:
+            sub = self._subheaps[search_id] = AddressableBinaryHeap()
+        old_min = sub.min_key()
+        outcome = sub.insert_or_decrease(item, key)
+        if outcome == 0:
+            return False
+        if outcome == 2:
+            self._size += 1
+        # The top-level entry tracks the sub-heap minimum; it only moves
+        # when this push actually lowered that minimum.
+        if key < old_min:
+            self._top.push(search_id, key)
+        return True
 
     def pop(self) -> Tuple[float, Hashable, K]:
         """Remove and return the globally minimal ``(key, search_id, item)``."""

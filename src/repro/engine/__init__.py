@@ -28,7 +28,14 @@ from repro.engine.executor import (
     SerialExecutor,
     make_executor,
 )
-from repro.engine.rng import NET_STREAM_STRIDE, derive_net_rng, net_stream_seed
+from repro.engine.rng import (
+    NET_STREAM_STRIDE,
+    derive_net_rng,
+    derive_net_rng_for_name,
+    net_name_key,
+    net_stream_seed,
+    net_stream_seed_for_name,
+)
 from repro.engine.scheduler import BoundingBox, NetBatch, NetScheduler
 
 __all__ = [
@@ -49,4 +56,7 @@ __all__ = [
     "NET_STREAM_STRIDE",
     "net_stream_seed",
     "derive_net_rng",
+    "net_name_key",
+    "net_stream_seed_for_name",
+    "derive_net_rng_for_name",
 ]

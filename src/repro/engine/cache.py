@@ -70,6 +70,23 @@ class RoundMemo:
             trees={i: t for i, t in self.trees.items() if i in wanted},
         )
 
+    def remapped(self, index_map: Dict[int, int]) -> "RoundMemo":
+        """A copy with net indices translated through ``index_map``.
+
+        Nets absent from the map (removed by an ECO) are dropped; every
+        surviving net's memo moves to its new index.  Sound because RNG
+        streams and signatures are keyed by net *name*, not index (see
+        :mod:`repro.engine.rng`): the deterministic oracle reproduces the
+        memoised tree at the shifted index as long as the lookup signature
+        still matches.
+        """
+        return RoundMemo(
+            signatures={
+                index_map[i]: s for i, s in self.signatures.items() if i in index_map
+            },
+            trees={index_map[i]: t for i, t in self.trees.items() if i in index_map},
+        )
+
 
 @dataclass
 class CacheStats:

@@ -135,7 +135,13 @@ class RoutingEngine:
         seed: int,
         cost_refresh_interval: int,
         config: Optional[EngineConfig] = None,
+        net_indices: Optional[Sequence[int]] = None,
+        executor: Optional[BatchExecutor] = None,
     ) -> None:
+        """``net_indices`` restricts the engine to a subset of the netlist
+        (the shard layer's per-region engines); ``executor`` injects a
+        shared, caller-owned backend instead of creating a private one --
+        the engine then never closes it."""
         if cost_refresh_interval < 1:
             raise ValueError("cost_refresh_interval must be positive")
         self.graph = graph
@@ -147,8 +153,10 @@ class RoutingEngine:
         self.seed = seed
         self.cost_refresh_interval = cost_refresh_interval
         self.config = config or EngineConfig()
+        self.net_indices = None if net_indices is None else list(net_indices)
         self.scheduler = NetScheduler(graph, netlist, halo=self.config.bbox_halo)
-        self.executor: BatchExecutor = make_executor(
+        self._owns_executor = executor is None
+        self.executor: BatchExecutor = executor if executor is not None else make_executor(
             self.config.backend,
             graph,
             oracle,
@@ -176,6 +184,7 @@ class RoutingEngine:
         # policy), so it is computed once and reused every round -- the bbox
         # policy's greedy colouring is quadratic in the net count.
         self._batches: List[NetBatch] = self.scheduler.schedule(
+            net_indices=self.net_indices,
             policy=self.config.scheduling,
             window_size=self.cost_refresh_interval,
             max_batch_size=self.config.max_batch_size,
@@ -306,9 +315,15 @@ class RoutingEngine:
         self.round_reports.append(report)
         return collected
 
+    def scheduled_nets(self) -> List[int]:
+        """The engine's net indices in scheduled (batch) order."""
+        return [net for batch in self._batches for net in batch.nets]
+
     def close(self) -> None:
-        """Release executor resources (idempotent)."""
-        self.executor.close()
+        """Release executor resources (idempotent; shared executors are
+        closed by their owner, not here)."""
+        if self._owns_executor:
+            self.executor.close()
 
     def __enter__(self) -> "RoutingEngine":
         return self
@@ -319,12 +334,14 @@ class RoutingEngine:
     # ------------------------------------------------------------ internals
     def _make_task(self, net_index: int) -> NetTask:
         root, sinks = self.netlist.net_terminals(self.graph, net_index)
+        net_name = self.netlist.nets[net_index].name
         return NetTask(
             net_index=net_index,
             root=root,
             sinks=tuple(sinks),
             weights=tuple(self.prices.weights_of(net_index)),
-            name=f"{self.netlist.name}/{self.netlist.nets[net_index].name}",
+            name=f"{self.netlist.name}/{net_name}",
+            net_name=net_name,
         )
 
     def _record_instance(

@@ -33,7 +33,7 @@ from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.oracle import SteinerOracle
 from repro.core.tree import EmbeddedTree
-from repro.engine.rng import derive_net_rng
+from repro.engine.rng import derive_net_rng_for_name
 from repro.grid.graph import RoutingGraph
 
 __all__ = [
@@ -48,13 +48,25 @@ __all__ = [
 
 @dataclass(frozen=True)
 class NetTask:
-    """Everything a worker needs to route one net (cheap to pickle)."""
+    """Everything a worker needs to route one net (cheap to pickle).
+
+    ``net_name`` is the net's own (netlist-unique) name; it keys the net's
+    private RNG stream, so a net keeps its stream when routed at a shifted
+    index or inside a sub-netlist.  ``name`` is the fully qualified
+    ``design/net`` label used for instance reporting only.
+    """
 
     net_index: int
     root: int
     sinks: Tuple[int, ...]
     weights: Tuple[float, ...]
     name: str = ""
+    net_name: str = ""
+
+    @property
+    def rng_name(self) -> str:
+        """The key of this net's RNG stream (falls back to the full label)."""
+        return self.net_name or self.name
 
     def payload(self, costs: np.ndarray, bifurcation: BifurcationModel) -> dict:
         """The :meth:`SteinerInstance.from_payload` dict of this task under a
@@ -109,7 +121,7 @@ class BatchExecutor:
         instance = SteinerInstance.from_payload(
             self.graph, task.payload(costs, self.bifurcation), delay=self._delay
         )
-        rng = derive_net_rng(self.seed, task.net_index)
+        rng = derive_net_rng_for_name(self.seed, task.rng_name)
         return self.oracle.build(instance, rng)
 
 
@@ -155,7 +167,7 @@ def _route_shard(
         instance = SteinerInstance.from_payload(
             graph, task.payload(costs, bifurcation), delay=delay
         )
-        tree = oracle.build(instance, derive_net_rng(seed, task.net_index))
+        tree = oracle.build(instance, derive_net_rng_for_name(seed, task.rng_name))
         results.append((task.net_index, tuple(tree.sinks), tuple(tree.edges), tree.method))
     return results
 

@@ -35,44 +35,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.grid.geometry import bounding_box
+from repro.grid.geometry import BoundingBox, bounding_box
 from repro.grid.graph import RoutingGraph
 
 if TYPE_CHECKING:  # circular at runtime: repro.router imports repro.engine
     from repro.router.netlist import Netlist
 
+# BoundingBox moved to repro.grid.geometry (the shard partitioner needs it
+# below the engine layer); re-exported here for compatibility.
 __all__ = ["BoundingBox", "NetBatch", "NetScheduler"]
-
-
-@dataclass(frozen=True)
-class BoundingBox:
-    """A closed planar tile rectangle ``[xlo, xhi] x [ylo, yhi]``."""
-
-    xlo: int
-    ylo: int
-    xhi: int
-    yhi: int
-
-    def overlaps(self, other: "BoundingBox") -> bool:
-        """Whether the two rectangles share at least one tile."""
-        return not (
-            self.xhi < other.xlo
-            or other.xhi < self.xlo
-            or self.yhi < other.ylo
-            or other.yhi < self.ylo
-        )
-
-    def expanded(self, halo: int, nx: int, ny: int) -> "BoundingBox":
-        """The box grown by ``halo`` tiles on every side, clipped to the grid."""
-        return BoundingBox(
-            max(0, self.xlo - halo),
-            max(0, self.ylo - halo),
-            min(nx - 1, self.xhi + halo),
-            min(ny - 1, self.yhi + halo),
-        )
-
-    def area(self) -> int:
-        return (self.xhi - self.xlo + 1) * (self.yhi - self.ylo + 1)
 
 
 @dataclass(frozen=True)

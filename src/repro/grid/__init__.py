@@ -10,18 +10,37 @@ algorithm in :mod:`repro`:
   type, vias between adjacent layers, and per-edge cost/delay attributes.
 * :mod:`repro.grid.congestion` -- edge capacity/usage tracking, congestion
   pricing and the ACE / ACE4 congestion metrics.
+* :mod:`repro.grid.partition` -- rectangular region partitions and
+  interior/seam net classification for multi-region (sharded) routing.
 """
 
-from repro.grid.geometry import GridPoint, l1_distance, bounding_box, hanan_grid
+from repro.grid.geometry import (
+    BoundingBox,
+    GridPoint,
+    l1_distance,
+    bounding_box,
+    hanan_grid,
+)
 from repro.grid.layers import Layer, WireType, LayerStack, default_layer_stack
 from repro.grid.graph import RoutingGraph, Edge, build_grid_graph
 from repro.grid.congestion import CongestionMap, ace, ace4
+from repro.grid.partition import (
+    NetClassification,
+    Region,
+    RegionPartition,
+    partition_grid,
+)
 
 __all__ = [
+    "BoundingBox",
     "GridPoint",
     "l1_distance",
     "bounding_box",
     "hanan_grid",
+    "NetClassification",
+    "Region",
+    "RegionPartition",
+    "partition_grid",
     "Layer",
     "WireType",
     "LayerStack",

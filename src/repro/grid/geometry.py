@@ -15,6 +15,7 @@ from typing import Iterable, List, Sequence, Tuple
 __all__ = [
     "GridPoint",
     "PlanarPoint",
+    "BoundingBox",
     "l1_distance",
     "planar_l1",
     "bounding_box",
@@ -55,6 +56,50 @@ class GridPoint:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.x},{self.y},m{self.layer})"
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A closed planar tile rectangle ``[xlo, xhi] x [ylo, yhi]``.
+
+    Used by the engine's conflict scheduling, the re-route cache's signature
+    regions, and the shard layer's region partitions.
+    """
+
+    xlo: int
+    ylo: int
+    xhi: int
+    yhi: int
+
+    def overlaps(self, other: "BoundingBox") -> bool:
+        """Whether the two rectangles share at least one tile."""
+        return not (
+            self.xhi < other.xlo
+            or other.xhi < self.xlo
+            or self.yhi < other.ylo
+            or other.yhi < self.ylo
+        )
+
+    def contains(self, other: "BoundingBox") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xlo <= other.xlo
+            and self.ylo <= other.ylo
+            and other.xhi <= self.xhi
+            and other.yhi <= self.yhi
+        )
+
+    def expanded(self, halo: int, nx: int, ny: int) -> "BoundingBox":
+        """The box grown by ``halo`` tiles on every side, clipped to the grid."""
+        return BoundingBox(
+            max(0, self.xlo - halo),
+            max(0, self.ylo - halo),
+            min(nx - 1, self.xhi + halo),
+            min(ny - 1, self.yhi + halo),
+        )
+
+    def area(self) -> int:
+        return (self.xhi - self.xlo + 1) * (self.yhi - self.ylo + 1)
 
 
 def l1_distance(a: GridPoint, b: GridPoint) -> int:

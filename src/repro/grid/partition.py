@@ -1,0 +1,218 @@
+"""Region partitioning for multi-region (sharded) global routing.
+
+Divide-and-conquer routing splits the chip's planar tile grid into K
+rectangular regions, routes nets whose pins stay inside one region as
+independent per-region subproblems, and reconciles only at the region
+boundaries: nets whose bounding box touches two or more regions -- the
+*seam-crossing* nets -- are routed in a global pass against congestion
+stitched together from the per-region results.  This module provides the
+static part of that decomposition:
+
+* :func:`partition_grid` cuts an ``nx x ny`` grid into a ``kx x ky`` mesh of
+  :class:`Region` rectangles (all layers; global routing congestion is a
+  planar phenomenon, so regions are planar prisms),
+* :class:`RegionPartition` answers containment queries, and
+* :meth:`RegionPartition.classify_nets` splits a netlist into per-region
+  interior index lists plus the seam list.
+
+Everything here is pure geometry over static inputs, so a partition and its
+classification are fully deterministic -- the shard coordinator's
+reproducibility contract starts here.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.grid.geometry import BoundingBox, bounding_box
+
+__all__ = [
+    "Region",
+    "NetClassification",
+    "RegionPartition",
+    "balanced_mesh",
+    "partition_grid",
+]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One rectangular region of a partition (all layers of the prism)."""
+
+    index: int
+    box: BoundingBox
+
+    @property
+    def width(self) -> int:
+        return self.box.xhi - self.box.xlo + 1
+
+    @property
+    def height(self) -> int:
+        return self.box.yhi - self.box.ylo + 1
+
+
+@dataclass
+class NetClassification:
+    """Outcome of classifying a netlist against a partition.
+
+    ``interior[r]`` holds the indices of nets confined to region ``r``;
+    ``seam`` the indices of nets spanning two or more regions.  Together
+    they cover every net exactly once.
+    """
+
+    interior: List[List[int]] = field(default_factory=list)
+    seam: List[int] = field(default_factory=list)
+
+    @property
+    def num_interior(self) -> int:
+        return sum(len(nets) for nets in self.interior)
+
+    @property
+    def num_seam(self) -> int:
+        return len(self.seam)
+
+
+class RegionPartition:
+    """A disjoint cover of an ``nx x ny`` tile grid by rectangular regions.
+
+    Use :func:`partition_grid` to construct one; the constructor checks the
+    mesh invariants (regions tile the grid row-major along cut lines).
+    """
+
+    def __init__(self, nx: int, ny: int, x_cuts: Sequence[int], y_cuts: Sequence[int]) -> None:
+        """``x_cuts`` / ``y_cuts`` are ascending boundary sequences starting
+        at 0 and ending at ``nx`` / ``ny``; column ``i`` spans tiles
+        ``[x_cuts[i], x_cuts[i+1])``."""
+        if list(x_cuts) != sorted(set(x_cuts)) or list(y_cuts) != sorted(set(y_cuts)):
+            raise ValueError("cut sequences must be strictly ascending")
+        if x_cuts[0] != 0 or x_cuts[-1] != nx or y_cuts[0] != 0 or y_cuts[-1] != ny:
+            raise ValueError("cut sequences must span the whole grid")
+        self.nx = nx
+        self.ny = ny
+        self.x_cuts = list(x_cuts)
+        self.y_cuts = list(y_cuts)
+        self.kx = len(self.x_cuts) - 1
+        self.ky = len(self.y_cuts) - 1
+        self.regions: List[Region] = []
+        for row in range(self.ky):
+            for col in range(self.kx):
+                box = BoundingBox(
+                    self.x_cuts[col],
+                    self.y_cuts[row],
+                    self.x_cuts[col + 1] - 1,
+                    self.y_cuts[row + 1] - 1,
+                )
+                self.regions.append(Region(len(self.regions), box))
+
+    # ------------------------------------------------------------- queries
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __iter__(self):
+        return iter(self.regions)
+
+    def region_of_tile(self, x: int, y: int) -> int:
+        """The region index of tile ``(x, y)``."""
+        if not (0 <= x < self.nx and 0 <= y < self.ny):
+            raise IndexError(f"tile ({x},{y}) outside the {self.nx}x{self.ny} grid")
+        col = bisect_right(self.x_cuts, x) - 1
+        row = bisect_right(self.y_cuts, y) - 1
+        return row * self.kx + col
+
+    def region_containing(self, box: BoundingBox) -> Optional[int]:
+        """The index of the single region containing ``box``, else ``None``."""
+        region = self.region_of_tile(box.xlo, box.ylo)
+        return region if self.regions[region].box.contains(box) else None
+
+    def covering_box(self, box: BoundingBox) -> BoundingBox:
+        """``box`` snapped outward to region-cut boundaries.
+
+        The smallest union of whole regions containing ``box`` -- the
+        "super-region" a seam-crossing net can be confined to.  Equals a
+        single region's box for interior nets and the full grid for nets
+        spanning every cut.
+        """
+        col_lo = bisect_right(self.x_cuts, box.xlo) - 1
+        col_hi = bisect_right(self.x_cuts, box.xhi) - 1
+        row_lo = bisect_right(self.y_cuts, box.ylo) - 1
+        row_hi = bisect_right(self.y_cuts, box.yhi) - 1
+        return BoundingBox(
+            self.x_cuts[col_lo],
+            self.y_cuts[row_lo],
+            self.x_cuts[col_hi + 1] - 1,
+            self.y_cuts[row_hi + 1] - 1,
+        )
+
+    # -------------------------------------------------------------- nets
+    def classify_nets(self, netlist, halo: int = 0) -> NetClassification:
+        """Split ``netlist`` into per-region interior lists and the seam list.
+
+        A net is *interior* to a region when its pin bounding box, expanded
+        by ``halo`` tiles and clipped to the grid, lies entirely inside the
+        region; every other net is *seam-crossing*.  A larger halo trades
+        interior coverage for safety margin: interior routes are confined to
+        their region, so nets whose pins hug a boundary are better treated
+        as seam nets.
+        """
+        if halo < 0:
+            raise ValueError("halo must be non-negative")
+        result = NetClassification(interior=[[] for _ in self.regions])
+        for net_index, net in enumerate(netlist.nets):
+            box = BoundingBox(*bounding_box(p.position for p in net.pins()))
+            box = box.expanded(halo, self.nx, self.ny)
+            region = self.region_containing(box)
+            if region is None:
+                result.seam.append(net_index)
+            else:
+                result.interior[region].append(net_index)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RegionPartition({self.nx}x{self.ny} into {self.kx}x{self.ky}, "
+            f"{self.num_regions} regions)"
+        )
+
+
+def balanced_mesh(k: int, nx: int, ny: int) -> Tuple[int, int]:
+    """The ``(kx, ky)`` factorisation of ``k`` with the squarest regions.
+
+    Among all factor pairs ``kx * ky == k`` with ``kx <= nx`` and
+    ``ky <= ny``, picks the one minimising the worst region aspect ratio
+    (region width ``nx/kx`` vs height ``ny/ky``).  Raises when ``k`` cannot
+    be arranged without zero-width regions.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    best: Optional[Tuple[float, int, int]] = None
+    for kx in range(1, k + 1):
+        if k % kx:
+            continue
+        ky = k // kx
+        if kx > nx or ky > ny:
+            continue
+        w, h = nx / kx, ny / ky
+        aspect = max(w / h, h / w)
+        if best is None or aspect < best[0]:
+            best = (aspect, kx, ky)
+    if best is None:
+        raise ValueError(
+            f"cannot split a {nx}x{ny} grid into {k} non-empty rectangular regions"
+        )
+    return best[1], best[2]
+
+
+def _even_cuts(extent: int, parts: int) -> List[int]:
+    return [round(i * extent / parts) for i in range(parts + 1)]
+
+
+def partition_grid(nx: int, ny: int, k: int) -> RegionPartition:
+    """Partition an ``nx x ny`` grid into ``k`` balanced rectangular regions."""
+    kx, ky = balanced_mesh(k, nx, ny)
+    return RegionPartition(nx, ny, _even_cuts(nx, kx), _even_cuts(ny, ky))

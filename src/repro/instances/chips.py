@@ -17,7 +17,14 @@ from repro.grid.graph import RoutingGraph, build_grid_graph
 from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
 from repro.router.netlist import Netlist
 
-__all__ = ["ChipSpec", "CHIP_SUITE", "build_chip", "chip_table", "smoke_chip"]
+__all__ = [
+    "ChipSpec",
+    "CHIP_SUITE",
+    "build_chip",
+    "chip_table",
+    "smoke_chip",
+    "large_chip",
+]
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,36 @@ def smoke_chip(net_scale: float = 0.3) -> ChipSpec:
     all exercise the same deterministic instance.
     """
     return CHIP_SUITE[0].scaled(net_scale)
+
+
+#: Net-size mix of the large synthetic chip: overwhelmingly small nets, the
+#: regime of real large designs (and the one where divide-and-conquer
+#: sharding pays -- high-fanout die-spanning nets stay in the seam pass).
+LARGE_CHIP_SIZES: Tuple[Tuple[int, int, float], ...] = (
+    (1, 2, 0.55),
+    (3, 5, 0.30),
+    (6, 9, 0.15),
+)
+
+
+def large_chip(net_scale: float = 1.0, seed: int = 33):
+    """The large synthetic chip used by the shard benchmarks.
+
+    A 48x48 tile die on the full 15-layer stack (the layer count of the
+    paper's biggest units c4/c7/c8) with 460 tightly clustered,
+    mostly-small nets.  Returns ``(graph, netlist)``; ``net_scale`` scales
+    the net count like :meth:`ChipSpec.scaled`.
+    """
+    graph = build_grid_graph(48, 48, 15)
+    config = NetlistGeneratorConfig(
+        num_nets=max(10, int(round(460 * net_scale))),
+        size_distribution=LARGE_CHIP_SIZES,
+        cluster_fraction=1.0,
+        cluster_radius_small=3,
+        cluster_radius_large=5,
+    )
+    netlist = generate_netlist(graph, config, seed=seed, name="xl")
+    return graph, netlist
 
 
 def chip_table(suite: Optional[Tuple[ChipSpec, ...]] = None) -> List[Dict[str, object]]:

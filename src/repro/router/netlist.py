@@ -87,6 +87,14 @@ class Netlist:
     clock_period: float = 500.0
 
     def __post_init__(self) -> None:
+        seen = set()
+        for net in self.nets:
+            if net.name in seen:
+                raise ValueError(
+                    f"duplicate net name {net.name!r}; net names key RNG "
+                    "streams and replay memos, so they must be unique"
+                )
+            seen.add(net.name)
         for stage in self.stages:
             self._check_stage(stage)
 
@@ -143,6 +151,34 @@ class Netlist:
         for net_index, sink_index in self.endpoint_sinks():
             sta.set_endpoint(net_index, sink_index, self.clock_period)
         return sta
+
+    # ------------------------------------------------------------- subsets
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Netlist":
+        """A netlist containing only the nets at ``indices`` (order kept).
+
+        Stages are retained when both endpoint nets survive and their net
+        indices are remapped; stages crossing the subset boundary are
+        dropped, which relaxes the timing constraints they carried (the
+        shard fan-out path documents this).  Nets are shared, not copied --
+        callers must not mutate them.
+        """
+        index_map = {old: new for new, old in enumerate(indices)}
+        if len(index_map) != len(indices):
+            raise ValueError("subset indices must be unique")
+        nets = [self.nets[i] for i in indices]
+        stages = [
+            Stage(
+                index_map[s.from_net], s.from_sink, index_map[s.to_net], s.cell_delay
+            )
+            for s in self.stages
+            if s.from_net in index_map and s.to_net in index_map
+        ]
+        return Netlist(
+            name=name or self.name,
+            nets=nets,
+            stages=stages,
+            clock_period=self.clock_period,
+        )
 
     # ------------------------------------------------------------- mapping
     def net_terminals(self, graph: RoutingGraph, net_index: int) -> Tuple[int, List[int]]:

@@ -33,7 +33,7 @@ from repro.core.oracle import SteinerOracle
 from repro.core.tree import EmbeddedTree
 from repro.engine.cache import RoundMemo
 from repro.engine.engine import EngineConfig, RoutingEngine
-from repro.engine.rng import derive_net_rng
+from repro.engine.rng import derive_net_rng_for_name
 from repro.grid.congestion import CongestionMap
 from repro.grid.graph import RoutingGraph
 from repro.router.metrics import RoutingResult
@@ -75,6 +75,23 @@ class GlobalRouterConfig:
     engine:
         Configuration of the batch-routing engine: executor backend
         (``serial`` / ``process``), scheduling policy, and re-route cache.
+    shards:
+        Number of rectangular regions for multi-region (divide-and-conquer)
+        routing.  ``1`` (default) keeps the classic single-region flow;
+        ``K > 1`` routes region-interior nets through K independent
+        per-region engines and seam-crossing nets in a global stitch pass
+        (see :mod:`repro.shard.coordinator`).
+    shard_parity:
+        Verification mode of the shard layer: interior nets are routed on
+        the full graph and all nets of a round see the round-start
+        congestion snapshot, which reproduces the unsharded router (at
+        ``cost_refresh_interval >= num_nets``) bit for bit.  The default
+        (``False``) routes interior nets on extracted region subgraphs --
+        the fast path.
+    shard_halo:
+        Tiles added around each net's pin bounding box before deciding
+        whether it is interior to a region; larger halos classify more nets
+        as seam-crossing.
     """
 
     num_rounds: int = 2
@@ -85,6 +102,15 @@ class GlobalRouterConfig:
     record_instances: bool = False
     seed: int = 0
     engine: EngineConfig = field(default_factory=EngineConfig)
+    shards: int = 1
+    shard_parity: bool = False
+    shard_halo: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.shard_halo < 0:
+            raise ValueError("shard_halo must be non-negative")
 
 
 class GlobalRouter:
@@ -109,17 +135,37 @@ class GlobalRouter:
             self.config.resource_sharing,
         )
         self.bifurcation = self._make_bifurcation()
-        self.engine = RoutingEngine(
-            graph=graph,
-            netlist=netlist,
-            oracle=oracle,
-            bifurcation=self.bifurcation,
-            congestion=self.congestion,
-            prices=self.prices,
-            seed=self.config.seed,
-            cost_refresh_interval=self.config.cost_refresh_interval,
-            config=self.config.engine,
-        )
+        if self.config.shards > 1:
+            # Imported lazily: the shard layer sits above the engine and
+            # constructs netlists, so a module-level import would cycle.
+            from repro.shard.coordinator import ShardCoordinator
+
+            self.engine = ShardCoordinator(
+                graph=graph,
+                netlist=netlist,
+                oracle=oracle,
+                bifurcation=self.bifurcation,
+                congestion=self.congestion,
+                prices=self.prices,
+                seed=self.config.seed,
+                cost_refresh_interval=self.config.cost_refresh_interval,
+                config=self.config.engine,
+                shards=self.config.shards,
+                parity=self.config.shard_parity,
+                halo=self.config.shard_halo,
+            )
+        else:
+            self.engine = RoutingEngine(
+                graph=graph,
+                netlist=netlist,
+                oracle=oracle,
+                bifurcation=self.bifurcation,
+                congestion=self.congestion,
+                prices=self.prices,
+                seed=self.config.seed,
+                cost_refresh_interval=self.config.cost_refresh_interval,
+                config=self.config.engine,
+            )
         self.trees: List[Optional[EmbeddedTree]] = [None] * netlist.num_nets
         self.collected_instances: List[SteinerInstance] = []
         self.timing_report: Optional[TimingReport] = None
@@ -197,7 +243,9 @@ class GlobalRouter:
     def route_single_net(self, net_index: int) -> EmbeddedTree:
         """Route one net in isolation under the current prices (helper for tests)."""
         instance = self.build_instance(net_index, self._current_costs())
-        rng = derive_net_rng(self.config.seed, net_index)
+        rng = derive_net_rng_for_name(
+            self.config.seed, self.netlist.nets[net_index].name
+        )
         tree = self.oracle.build(instance, rng)
         tree.validate()
         return tree

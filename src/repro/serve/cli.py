@@ -24,6 +24,20 @@ __all__ = ["SERVE_COMMANDS", "main"]
 SERVE_COMMANDS = ("serve", "submit", "status", "result", "eco", "shutdown")
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
 def _add_endpoint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--host", default=DEFAULT_HOST, help="daemon host")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT, help="daemon port")
@@ -63,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--cache", action="store_true", help="enable the re-route cache")
     submit.add_argument(
         "--cache-scope", default="bbox", choices=["bbox", "global"], help="cache scope"
+    )
+    submit.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "fan the design out as this many region sub-jobs with seam "
+            "stitching and a merged result (1 = ordinary route job)"
+        ),
+    )
+    submit.add_argument(
+        "--shard-halo",
+        type=_non_negative_int,
+        default=0,
+        help="halo tiles around net boxes for interior/seam classification",
     )
     submit.add_argument(
         "--session",
@@ -138,9 +167,16 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "cache": args.cache,
         "cache_scope": args.cache_scope,
     }
-    if args.session:
-        params["session"] = args.session
-    job_id = client.submit_route(**params)
+    if args.shards > 1:
+        if args.session:
+            raise ServeError("sessions and --shards are mutually exclusive")
+        params["shards"] = args.shards
+        params["shard_halo"] = args.shard_halo
+        job_id = client.submit_shard(**params)
+    else:
+        if args.session:
+            params["session"] = args.session
+        job_id = client.submit_route(**params)
     if args.wait:
         return _finish(client.wait(job_id, timeout=args.timeout))
     _emit({"job_id": job_id})

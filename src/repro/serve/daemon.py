@@ -24,11 +24,18 @@ import json
 import socket
 import socketserver
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.engine.engine import EngineConfig
-from repro.instances.chips import CHIP_SUITE, build_chip
+from repro.grid.congestion import CongestionMap
+from repro.grid.partition import partition_grid
+from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip
+from repro.router.metrics import RoutingResult
+from repro.router.netlist import Netlist
 from repro.router.oracles import make_oracle
 from repro.router.router import GlobalRouter, GlobalRouterConfig
 from repro.serve.jobs import JobCancelled, JobState, JobStore
@@ -50,12 +57,28 @@ def _engine_config_from_params(params: Dict[str, object]) -> EngineConfig:
     )
 
 
-def _router_config_from_params(params: Dict[str, object]) -> GlobalRouterConfig:
+def _router_config_from_params(
+    params: Dict[str, object], force_single_shard: bool = False
+) -> GlobalRouterConfig:
     return GlobalRouterConfig(
         num_rounds=int(params.get("rounds", 2)),  # type: ignore[arg-type]
         seed=int(params.get("seed", 0)),  # type: ignore[arg-type]
         engine=_engine_config_from_params(params),
+        shards=1 if force_single_shard else int(params.get("shards", 1)),  # type: ignore[arg-type]
+        shard_parity=bool(params.get("shard_parity", False)),
+        shard_halo=int(params.get("shard_halo", 0)),  # type: ignore[arg-type]
     )
+
+
+def _chip_from_params(params: Dict[str, object]) -> ChipSpec:
+    chip_name = str(params.get("chip", "c1"))
+    spec = next((s for s in CHIP_SUITE if s.name == chip_name), None)
+    if spec is None:
+        raise ValueError(f"unknown chip {chip_name!r}")
+    net_scale = float(params.get("net_scale", 1.0))  # type: ignore[arg-type]
+    if net_scale != 1.0:
+        spec = spec.scaled(net_scale)
+    return spec
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -192,7 +215,7 @@ class ServeDaemon:
 
     def _op_submit(self, request: Dict[str, object]) -> Dict[str, object]:
         kind = request.get("kind")
-        if kind not in ("route", "eco"):
+        if kind not in ("route", "eco", "shard"):
             return {"ok": False, "error": f"unknown job kind {kind!r}"}
         params = request.get("params") or {}
         if not isinstance(params, dict):
@@ -254,6 +277,8 @@ class ServeDaemon:
             job = self.store.get(job_id)
             if job.kind == "route":
                 result = self._run_route(job.params, cancel)
+            elif job.kind == "shard":
+                result = self._run_shard(job.job_id, job.params, cancel)
             else:
                 result = self._run_eco(job.params, cancel)
             self.store.mark_done(job_id, result)
@@ -276,17 +301,30 @@ class ServeDaemon:
     def _run_route(
         self, params: Dict[str, object], cancel: threading.Event
     ) -> Dict[str, object]:
-        chip_name = str(params.get("chip", "c1"))
-        spec = next((s for s in CHIP_SUITE if s.name == chip_name), None)
-        if spec is None:
-            raise ValueError(f"unknown chip {chip_name!r}")
-        net_scale = float(params.get("net_scale", 1.0))  # type: ignore[arg-type]
-        if net_scale != 1.0:
-            spec = spec.scaled(net_scale)
+        spec = _chip_from_params(params)
         graph, netlist = build_chip(spec)
         oracle = make_oracle(str(params.get("oracle", "CD")))
-        config = _router_config_from_params(params)
+        # A shard child routes one region's interior sub-netlist; its own
+        # flow is single-region (the parent owns the decomposition).
+        shard_index = params.get("shard_index")
+        config = _router_config_from_params(
+            params, force_single_shard=shard_index is not None
+        )
+        if shard_index is not None:
+            partition = partition_grid(
+                graph.nx, graph.ny, int(params.get("shards", 1))  # type: ignore[arg-type]
+            )
+            classification = partition.classify_nets(
+                netlist, halo=int(params.get("shard_halo", 0))  # type: ignore[arg-type]
+            )
+            interior = classification.interior[int(shard_index)]  # type: ignore[arg-type]
+            netlist = netlist.subset(interior)
         session_name = params.get("session")
+        if session_name is not None and config.shards > 1:
+            raise ValueError(
+                "sessions require an unsharded flow; submit without --shards "
+                "or without --session"
+            )
         if session_name is not None:
             session_name = str(session_name)
             # Reserve the name atomically so two concurrent route jobs
@@ -323,10 +361,160 @@ class ServeDaemon:
             "session": None,
             "backend": config.engine.backend,
         }
+        if shard_index is not None:
+            payload["shard_index"] = int(shard_index)  # type: ignore[arg-type]
+        if params.get("emit_usage"):
+            # Shard children ship their final congestion usage so the parent
+            # can stitch the regions before routing the seam nets.
+            payload["usage"] = router.congestion.usage.tolist()
         if router.engine.cache is not None:
             stats = router.engine.cache.stats
             payload["cache"] = {"hits": stats.hits, "lookups": stats.lookups}
         return payload
+
+    def _run_shard(
+        self, job_id: str, params: Dict[str, object], cancel: threading.Event
+    ) -> Dict[str, object]:
+        """Fan one design out as K region sub-jobs, then stitch and merge.
+
+        Every region with interior nets becomes a real ``route`` job in the
+        store (visible via ``status``), executed on a dedicated thread so a
+        shard job can never deadlock the worker pool against its own
+        children.  The parent stitches the children's congestion usage,
+        routes the seam-crossing nets against it, and returns one merged
+        :class:`RoutingResult` record: additive metrics (wire length, vias,
+        TNS, objective, nets) are summed, worst slack is the minimum, and
+        the congestion metrics (ACE4, overflow) are computed on the stitched
+        full-design map.  Timing stages crossing region boundaries are
+        relaxed in this path -- the in-process coordinator
+        (``route --shards K``) keeps them.
+        """
+        started = time.perf_counter()
+        spec = _chip_from_params(params)
+        graph, netlist = build_chip(spec)
+        oracle = make_oracle(str(params.get("oracle", "CD")))
+        shards = int(params.get("shards", 2))  # type: ignore[arg-type]
+        if shards < 2:
+            raise ValueError("shard jobs need shards >= 2")
+        halo = int(params.get("shard_halo", 0))  # type: ignore[arg-type]
+        partition = partition_grid(graph.nx, graph.ny, shards)
+        classification = partition.classify_nets(netlist, halo=halo)
+
+        child_params_base = {
+            key: value
+            for key, value in params.items()
+            if key not in ("session", "shard_index", "emit_usage")
+        }
+        children: List[str] = []
+        threads: List[threading.Thread] = []
+        for region_index, interior in enumerate(classification.interior):
+            if not interior:
+                continue
+            child = self.store.submit(
+                "route",
+                {
+                    **child_params_base,
+                    "shard_index": region_index,
+                    "emit_usage": True,
+                    "parent": job_id,
+                },
+            )
+            children.append(child.job_id)
+            self._cancel_flags[child.job_id] = threading.Event()
+            thread = threading.Thread(
+                target=self._run_job,
+                args=(child.job_id,),
+                name=f"repro-shard-{child.job_id}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+        try:
+            for thread in threads:
+                while thread.is_alive():
+                    thread.join(timeout=0.1)
+                    if cancel.is_set():
+                        for child_id in children:
+                            flag = self._cancel_flags.get(child_id)
+                            if flag is not None:
+                                flag.set()
+        finally:
+            for thread in threads:
+                thread.join()
+        if cancel.is_set():
+            raise JobCancelled()
+
+        stitched = np.zeros(graph.num_edges, dtype=np.float64)
+        child_results: List[RoutingResult] = []
+        for child_id in children:
+            child = self.store.get(child_id)
+            if child.status != JobState.DONE:
+                raise RuntimeError(
+                    f"shard sub-job {child_id} ended {child.status}: {child.error}"
+                )
+            payload = child.result or {}
+            child_results.append(
+                RoutingResult.from_dict(payload["result"])  # type: ignore[arg-type]
+            )
+            stitched += np.asarray(payload["usage"], dtype=np.float64)
+
+        seam_result: Optional[RoutingResult] = None
+        seam = classification.seam
+        if seam:
+            seam_config = _router_config_from_params(params, force_single_shard=True)
+            seam_router = GlobalRouter(
+                graph, netlist.subset(seam), oracle, seam_config
+            )
+            # Seed the seam flow with the stitched interior congestion: seam
+            # nets are priced against the regions' combined usage, exactly
+            # like the in-process coordinator's seam pass.
+            seam_router.congestion.usage[:] = stitched
+            seam_result = seam_router.run(on_round_end=self._cancel_hook(cancel))
+            final_map = seam_router.congestion
+        else:
+            final_map = CongestionMap(graph)
+            final_map.usage[:] = stitched
+
+        merged = self._merge_results(
+            spec.name, child_results, seam_result, final_map, netlist,
+            time.perf_counter() - started,
+        )
+        return {
+            "result": merged.as_dict(),
+            "shards": shards,
+            "subjobs": children,
+            "seam_nets": len(seam),
+            "interior_nets": [len(r) for r in classification.interior],
+            "backend": str(params.get("backend", "serial")),
+        }
+
+    @staticmethod
+    def _merge_results(
+        chip: str,
+        child_results: List[RoutingResult],
+        seam_result: Optional[RoutingResult],
+        final_map: CongestionMap,
+        netlist: Netlist,
+        walltime: float,
+    ) -> RoutingResult:
+        parts = list(child_results)
+        if seam_result is not None:
+            parts.append(seam_result)
+        if not parts:
+            raise ValueError("shard job produced no partial results")
+        return RoutingResult(
+            chip=chip,
+            method=parts[0].method,
+            worst_slack=min(p.worst_slack for p in parts),
+            total_negative_slack=sum(p.total_negative_slack for p in parts),
+            ace4=final_map.ace4(),
+            wire_length=sum(p.wire_length for p in parts),
+            via_count=sum(p.via_count for p in parts),
+            walltime_seconds=walltime,
+            overflow=final_map.overflow(),
+            objective=sum(p.objective for p in parts),
+            num_nets=netlist.num_nets,
+        )
 
     def _run_eco(
         self, params: Dict[str, object], cancel: threading.Event

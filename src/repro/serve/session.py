@@ -94,6 +94,11 @@ class RoutingSession:
         name: Optional[str] = None,
     ) -> None:
         base = config or GlobalRouterConfig()
+        if base.shards > 1:
+            raise ValueError(
+                "sessions require an unsharded flow (shards=1); the shard "
+                "coordinator does not carry replay memos yet"
+            )
         if not base.engine.reroute_cache:
             base = replace(base, engine=replace(base.engine, reroute_cache=True))
         self.graph = graph
@@ -150,11 +155,12 @@ class RoutingSession:
         for net_name, per_sink in eco.weight_overrides.items():
             overrides.setdefault(net_name, {}).update(per_sink)
 
-        # Memos are keyed by net index and the per-net RNG stream is too,
-        # so only nets whose index survived unchanged keep their memo; a
-        # shifted net is re-routed honestly.
-        stable = [old for old, new in eco.index_map.items() if old == new]
-        replay = [memo.restrict_to(stable) for memo in self._log]
+        # RNG streams and lookup signatures are keyed by net *name*, so a
+        # net keeps its memo wherever its index lands: removed nets simply
+        # drop out of the index map and every survivor's memo is carried to
+        # its new index.  (Index-keyed streams used to drop the memo of
+        # every net behind a removal.)
+        replay = [memo.remapped(eco.index_map) for memo in self._log]
 
         result = self._run_flow(
             eco.netlist, overrides, replay=replay, on_round_end=on_round_end

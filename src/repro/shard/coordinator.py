@@ -1,0 +1,561 @@
+"""The shard coordinator: multi-region routing with seam stitching.
+
+:class:`ShardCoordinator` is a drop-in replacement for the single-region
+:class:`repro.engine.engine.RoutingEngine` (selected by
+``GlobalRouterConfig.shards > 1``).  Each rip-up-and-re-route round becomes
+
+1. **Interior pass** -- every region routes its interior nets through an
+   independent :class:`~repro.engine.engine.RoutingEngine` against a private
+   :class:`~repro.grid.congestion.CongestionMap` initialised from the
+   round-start snapshot of the shared map.  Regions never see each other's
+   in-round deltas, which is what makes the decomposition independent (and
+   deterministic in region order).
+2. **Stitching** -- each region's usage delta (``delta_since`` the
+   round-start snapshot) is added back onto the shared map, exactly like a
+   batch of tree deltas.
+3. **Seam pass** -- nets whose bounding box spans two or more regions are
+   routed by a global engine against the stitched congestion, with the
+   normal windowed cost refreshes.
+
+Two interior execution modes:
+
+* **fast** (default) -- interior nets are routed on *extracted region
+  subgraphs*: a region's prism is itself a grid graph, so per-net work that
+  scales with the edge count (instance construction, cost vector
+  materialisation, A* bookkeeping) shrinks by roughly the region count.
+  Routes are confined to their region's prism; quality drift shows up as a
+  seam-overflow delta and is tracked by ``benchmarks/test_shard_scaling.py``.
+* **parity** -- interior nets are routed on the full graph and *all* nets of
+  a round (seam included) see the round-start snapshot.  Because per-net RNG
+  streams are name-keyed and usage quanta are exact binary fractions, this
+  mode reproduces the unsharded router at ``cost_refresh_interval >=
+  num_nets`` bit for bit -- the verification harness for the shard
+  machinery.
+
+The coordinator is stateless between rounds beyond the shared map and the
+global trees list, so checkpoint/resume through :class:`GlobalRouter` works
+unchanged.  Replay memo logs (ECO sessions) are not supported through
+shards yet; ``route_round`` rejects them explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bifurcation import BifurcationModel
+from repro.core.instance import SteinerInstance
+from repro.core.oracle import SteinerOracle
+from repro.core.tree import EmbeddedTree
+from repro.engine.cache import RoundMemo
+from repro.engine.engine import EngineConfig, RoundReport, RoutingEngine
+from repro.engine.executor import BatchExecutor, make_executor
+from repro.grid.congestion import CongestionMap, CongestionSnapshot
+from repro.grid.graph import RoutingGraph, extract_prism
+from repro.grid.partition import NetClassification, RegionPartition, partition_grid
+from repro.grid.geometry import BoundingBox, GridPoint, bounding_box
+
+if TYPE_CHECKING:  # circular at runtime: repro.router imports the engine API
+    from repro.router.resource_sharing import ResourceSharingPrices
+
+from repro.router.netlist import Net, Netlist, Pin
+
+__all__ = ["ShardStats", "ShardCoordinator"]
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Static shape of a sharded flow (for reporting and tests).
+
+    ``scoped_seam_nets`` counts seam-crossing nets confined to a
+    super-region prism (fast path); ``global_seam_nets`` the nets routed by
+    the full-graph engine.  They sum to ``seam_nets``.
+    """
+
+    num_regions: int
+    interior_nets: Tuple[int, ...]
+    seam_nets: int
+    parity: bool
+    scoped_seam_nets: int = 0
+    global_seam_nets: int = 0
+
+    @property
+    def total_interior(self) -> int:
+        return sum(self.interior_nets)
+
+
+class _RegionPrices:
+    """Per-region view of the shared resource-sharing prices.
+
+    Exposes the two attributes the engine reads -- ``edge_prices`` (gathered
+    onto the region's subgraph edges) and ``weights_of`` (local net index
+    mapped back to the global netlist) -- and is refreshed at every round
+    start, after the router's inter-round price updates.
+    """
+
+    def __init__(self, prices: "ResourceSharingPrices", edge_to_global: np.ndarray,
+                 interior: Sequence[int]) -> None:
+        self._prices = prices
+        self._edge_to_global = edge_to_global
+        self._interior = list(interior)
+        self.edge_prices = prices.edge_prices[edge_to_global]
+
+    def refresh(self) -> None:
+        self.edge_prices = self._prices.edge_prices[self._edge_to_global]
+
+    def weights_of(self, local_index: int) -> List[float]:
+        return self._prices.weights_of(self._interior[local_index])
+
+
+class _SubgraphScope:
+    """A clipped routing scope of the fast path: an engine over the subgraph
+    extracted for one prism of the die.
+
+    Level 0 scopes are the partition's regions (interior nets); level 1
+    scopes are "super-regions" -- the smallest union of whole regions
+    covering a group of seam-crossing nets -- so even most seam nets route
+    on a fraction of the full graph.  Nets spanning every cut stay with the
+    coordinator's global engine.
+    """
+
+    def __init__(
+        self,
+        coordinator: "ShardCoordinator",
+        box,
+        nets: List[int],
+        label: str,
+    ) -> None:
+        graph = coordinator.graph
+        self.label = label
+        self.box = box
+        self.interior = nets
+        self.xlo, self.ylo = box.xlo, box.ylo
+        self.sub_graph, self.edge_to_global = extract_prism(
+            graph, box.xlo, box.ylo, box.xhi, box.yhi
+        )
+        self._edge_to_global_list = self.edge_to_global.tolist()
+        self._edge_to_local = np.full(graph.num_edges, -1, dtype=np.int64)
+        self._edge_to_local[self.edge_to_global] = np.arange(
+            len(self.edge_to_global), dtype=np.int64
+        )
+        self._edge_to_local_list = self._edge_to_local.tolist()
+        # The sub-netlist keeps the parent's design name and the nets their
+        # own names, so instance labels and name-keyed RNG streams line up
+        # with the unsharded flow.
+        sub_netlist = Netlist(
+            name=coordinator.netlist.name,
+            nets=[self._translate_net(coordinator.netlist.nets[i]) for i in nets],
+            stages=[],
+            clock_period=coordinator.netlist.clock_period,
+        )
+        self.prices = _RegionPrices(coordinator.prices, self.edge_to_global, nets)
+        self.congestion = CongestionMap(
+            self.sub_graph,
+            overflow_penalty=coordinator.congestion.overflow_penalty,
+            threshold=coordinator.congestion.threshold,
+        )
+        # Region subproblems are small and already run inside one round-start
+        # snapshot; process pools per region would cost more in priming than
+        # they return, so sub-engines always execute serially (the seam pass
+        # still uses the configured backend through the shared executor).
+        sub_config = replace(
+            coordinator.config, backend="serial", num_workers=None, scheduling="window"
+        )
+        self.engine = RoutingEngine(
+            graph=self.sub_graph,
+            netlist=sub_netlist,
+            oracle=coordinator.oracle,
+            bifurcation=coordinator.bifurcation,
+            congestion=self.congestion,
+            prices=self.prices,
+            seed=coordinator.seed,
+            cost_refresh_interval=max(1, len(nets)),
+            config=sub_config,
+        )
+
+    # ----------------------------------------------------------- geometry
+    def _translate_net(self, net: Net) -> Net:
+        def shift(pin: Pin) -> Pin:
+            p = pin.position
+            return Pin(pin.name, GridPoint(p.x - self.xlo, p.y - self.ylo, p.layer))
+
+        return Net(net.name, shift(net.driver), [shift(s) for s in net.sinks])
+
+    def _node_to_global(self, graph: RoutingGraph, node: int) -> int:
+        layer, rest = divmod(node, self.sub_graph.nx * self.sub_graph.ny)
+        y, x = divmod(rest, self.sub_graph.nx)
+        return (layer * graph.ny + (y + self.ylo)) * graph.nx + (x + self.xlo)
+
+    def _node_to_local(self, graph: RoutingGraph, node: int) -> int:
+        layer, rest = divmod(node, graph.nx * graph.ny)
+        y, x = divmod(rest, graph.nx)
+        return (layer * self.sub_graph.ny + (y - self.ylo)) * self.sub_graph.nx + (
+            x - self.xlo
+        )
+
+    def tree_to_global(self, graph: RoutingGraph, tree: EmbeddedTree) -> EmbeddedTree:
+        mapping = self._edge_to_global_list
+        return EmbeddedTree(
+            graph,
+            self._node_to_global(graph, tree.root),
+            tuple(self._node_to_global(graph, s) for s in tree.sinks),
+            tuple(mapping[e] for e in tree.edges),
+            tree.method,
+        )
+
+    def tree_to_local(self, graph: RoutingGraph, tree: EmbeddedTree) -> EmbeddedTree:
+        mapping = self._edge_to_local_list
+        edges = tuple(mapping[int(e)] for e in tree.edges)
+        if any(e < 0 for e in edges):
+            # Only reachable with trees from outside this scope's flow, e.g.
+            # a checkpoint taken under a different shard configuration whose
+            # routes detour outside this prism; -1 would otherwise be
+            # silently interpreted as the subgraph's last edge.
+            raise ValueError(
+                f"tree of a net in scope {self.label!r} uses edges outside "
+                "the region prism; resume checkpoints with the shard "
+                "configuration they were written under"
+            )
+        return EmbeddedTree(
+            self.sub_graph,
+            self._node_to_local(graph, tree.root),
+            tuple(self._node_to_local(graph, s) for s in tree.sinks),
+            edges,
+            tree.method,
+        )
+
+    # -------------------------------------------------------------- round
+    def route_round(
+        self,
+        coordinator: "ShardCoordinator",
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        usage: np.ndarray,
+    ) -> np.ndarray:
+        """Route the scope's nets against the given global usage state;
+        returns the scope-local usage delta (global scatter is the
+        coordinator's job)."""
+        graph = coordinator.graph
+        start_usage = usage[self.edge_to_global]
+        self.congestion.usage = start_usage.copy()
+        self.prices.refresh()
+        # Local trees are derived from the global list every round (not kept
+        # across rounds), so checkpoint restores stay consistent for free.
+        local_trees: List[Optional[EmbeddedTree]] = [
+            None if trees[g] is None else self.tree_to_local(graph, trees[g])
+            for g in self.interior
+        ]
+        self.engine.route_round(round_index, local_trees)
+        for local_index, global_index in enumerate(self.interior):
+            local_tree = local_trees[local_index]
+            trees[global_index] = (
+                None if local_tree is None else self.tree_to_global(graph, local_tree)
+            )
+        return self.congestion.usage - start_usage
+
+
+class _ParityRegion:
+    """One region of the parity path: an engine over the full graph."""
+
+    def __init__(self, coordinator: "ShardCoordinator", region_index: int,
+                 interior: List[int]) -> None:
+        self.index = region_index
+        self.interior = interior
+        self.congestion = CongestionMap(
+            coordinator.graph,
+            overflow_penalty=coordinator.congestion.overflow_penalty,
+            threshold=coordinator.congestion.threshold,
+        )
+        config = replace(coordinator.config, scheduling="window")
+        self.engine = RoutingEngine(
+            graph=coordinator.graph,
+            netlist=coordinator.netlist,
+            oracle=coordinator.oracle,
+            bifurcation=coordinator.bifurcation,
+            congestion=self.congestion,
+            prices=coordinator.prices,
+            seed=coordinator.seed,
+            cost_refresh_interval=max(1, len(interior)),
+            config=config,
+            net_indices=interior,
+            executor=coordinator.executor,
+        )
+
+    def route_round(
+        self,
+        coordinator: "ShardCoordinator",
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        snapshot: CongestionSnapshot,
+    ) -> np.ndarray:
+        """Route on the full graph against the round-start snapshot; returns
+        the full-graph usage delta."""
+        self.congestion.restore(snapshot)
+        self.engine.route_round(round_index, trees)
+        return self.congestion.delta_since(snapshot)
+
+
+class ShardCoordinator:
+    """Routes rounds as K independent region passes plus a seam stitch pass.
+
+    Implements the engine interface :class:`GlobalRouter` consumes
+    (``route_round`` / ``close`` / ``cache`` / ``round_reports``), so the
+    router, checkpointing, the CLI, and the serve daemon all work unchanged
+    with ``GlobalRouterConfig.shards > 1``.
+    """
+
+    def __init__(
+        self,
+        graph: RoutingGraph,
+        netlist: Netlist,
+        oracle: SteinerOracle,
+        bifurcation: BifurcationModel,
+        congestion: CongestionMap,
+        prices: "ResourceSharingPrices",
+        seed: int,
+        cost_refresh_interval: int,
+        config: Optional[EngineConfig] = None,
+        shards: int = 2,
+        parity: bool = False,
+        halo: int = 0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        self.graph = graph
+        self.netlist = netlist
+        self.oracle = oracle
+        self.bifurcation = bifurcation
+        self.congestion = congestion
+        self.prices = prices
+        self.seed = seed
+        self.cost_refresh_interval = cost_refresh_interval
+        self.config = config or EngineConfig()
+        self.parity = parity
+        self.partition: RegionPartition = partition_grid(graph.nx, graph.ny, shards)
+        self.classification: NetClassification = self.partition.classify_nets(
+            netlist, halo=halo
+        )
+        #: The engine-interface cache slot.  The coordinator's sub-engines
+        #: keep private caches; there is no global signature store to
+        #: checkpoint, so this stays ``None``.
+        self.cache = None
+        self.round_reports: List[RoundReport] = []
+
+        #: Executor shared by the full-graph engines (seam pass and parity
+        #: interior passes); owned and closed by the coordinator.
+        self.executor: BatchExecutor = make_executor(
+            self.config.backend,
+            graph,
+            oracle,
+            bifurcation,
+            seed,
+            num_workers=self.config.num_workers,
+        )
+        self.regions: List[object] = []
+        for region_index, interior in enumerate(self.classification.interior):
+            if not interior:
+                continue  # empty regions need no engine (K may exceed the net count)
+            box = self.partition.regions[region_index].box
+            if parity:
+                self.regions.append(_ParityRegion(self, region_index, interior))
+            else:
+                self.regions.append(
+                    _SubgraphScope(self, box, interior, f"region{region_index}")
+                )
+
+        seam = self.classification.seam
+        #: Fast path: seam nets whose covering super-region is smaller than
+        #: the whole die route on that prism's subgraph (level-1 scopes);
+        #: only nets spanning every cut stay with the global engine.  Parity
+        #: mode routes all seam nets globally against the round-start
+        #: snapshot.
+        self.seam_scopes: List[_SubgraphScope] = []
+        global_seam = seam
+        if not parity:
+            full_box = BoundingBox(0, 0, graph.nx - 1, graph.ny - 1)
+            groups: Dict[BoundingBox, List[int]] = {}
+            for net_index in seam:
+                box = BoundingBox(
+                    *_net_bounding_box(netlist.nets[net_index])
+                ).expanded(halo, graph.nx, graph.ny)
+                cover = self.partition.covering_box(box)
+                groups.setdefault(cover, []).append(net_index)
+            global_seam = []
+            for cover in sorted(
+                groups, key=lambda b: (b.xlo, b.ylo, b.xhi, b.yhi)
+            ):
+                nets = groups[cover]
+                if cover == full_box:
+                    global_seam.extend(nets)
+                else:
+                    self.seam_scopes.append(
+                        _SubgraphScope(self, cover, nets, f"seam{len(self.seam_scopes)}")
+                    )
+            global_seam.sort()
+
+        self._global_seam = global_seam
+        self._seam_congestion = (
+            CongestionMap(
+                graph,
+                overflow_penalty=congestion.overflow_penalty,
+                threshold=congestion.threshold,
+            )
+            if parity
+            else congestion
+        )
+        seam_config = replace(self.config, scheduling="window") if parity else self.config
+        self.seam_engine = RoutingEngine(
+            graph=graph,
+            netlist=netlist,
+            oracle=oracle,
+            bifurcation=bifurcation,
+            congestion=self._seam_congestion,
+            prices=prices,
+            seed=seed,
+            cost_refresh_interval=(
+                max(1, len(global_seam)) if parity else cost_refresh_interval
+            ),
+            config=seam_config,
+            net_indices=global_seam,
+            executor=self.executor,
+        )
+
+    # ------------------------------------------------------------- queries
+    @property
+    def stats(self) -> ShardStats:
+        return ShardStats(
+            num_regions=self.partition.num_regions,
+            interior_nets=tuple(len(r) for r in self.classification.interior),
+            seam_nets=len(self.classification.seam),
+            parity=self.parity,
+            scoped_seam_nets=sum(len(s.interior) for s in self.seam_scopes),
+            global_seam_nets=len(self._global_seam),
+        )
+
+    # ------------------------------------------------------------------ API
+    def route_round(
+        self,
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        record: bool = False,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
+    ) -> List[SteinerInstance]:
+        """Route every net once: interior passes, stitch, seam pass."""
+        if replay_round is not None or log_round is not None:
+            raise ValueError(
+                "replay memo logs are not supported through the shard "
+                "coordinator; route with shards=1 for ECO sessions"
+            )
+        started = time.perf_counter()
+        snapshot = self.congestion.snapshot()
+        round_costs = snapshot.edge_costs(self.prices.edge_prices) if record else None
+        collected: List[SteinerInstance] = []
+        deltas: List[np.ndarray] = []
+        for region in self.regions:
+            if self.parity:
+                deltas.append(region.route_round(self, round_index, trees, snapshot))
+            else:
+                deltas.append(
+                    region.route_round(self, round_index, trees, snapshot.usage)
+                )
+            if record:
+                collected.extend(
+                    self._record_scope(region, round_costs)  # type: ignore[arg-type]
+                )
+        # Stitch: merge every region's usage delta onto the shared map.  The
+        # parity path produced full-graph deltas, the fast path region-local
+        # ones scattered through the region's edge map.
+        for region, delta in zip(self.regions, deltas):
+            if isinstance(region, _SubgraphScope):
+                self.congestion.usage[region.edge_to_global] += delta
+            else:
+                self.congestion.usage += delta
+        # Seam super-region scopes (fast path only) run against the live,
+        # already-stitched map, one scope after the other.
+        for scope in self.seam_scopes:
+            delta = scope.route_round(self, round_index, trees, self.congestion.usage)
+            self.congestion.usage[scope.edge_to_global] += delta
+            if record:
+                collected.extend(
+                    self._record_scope(scope, round_costs)  # type: ignore[arg-type]
+                )
+        if self.parity:
+            self._seam_congestion.restore(snapshot)
+        collected.extend(self.seam_engine.route_round(round_index, trees, record=record))
+        if self.parity:
+            self.congestion.usage += self._seam_congestion.delta_since(snapshot)
+        self.round_reports.append(self._aggregate_report(round_index, started))
+        return collected
+
+    def close(self) -> None:
+        """Release every sub-engine and the shared executor (idempotent)."""
+        for region in self.regions:
+            region.engine.close()  # type: ignore[attr-defined]
+        for scope in self.seam_scopes:
+            scope.engine.close()
+        self.seam_engine.close()
+        self.executor.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+    def _record_scope(
+        self, region: object, costs: np.ndarray
+    ) -> List[SteinerInstance]:
+        """Global-graph instances of a scope's nets, in scheduled order.
+
+        Recording is done here rather than inside the scope engines because
+        the fast path's sub-engines would record subgraph-indexed instances;
+        building them once at the coordinator keeps both modes uniform.
+        All recorded instances carry the round-start cost vector.
+        """
+        if isinstance(region, _ParityRegion):
+            order = region.engine.scheduled_nets()
+        else:
+            order = [region.interior[i] for i in region.engine.scheduled_nets()]
+        delay = self.graph.delay_array()
+        instances = []
+        for net_index in order:
+            root, sinks = self.netlist.net_terminals(self.graph, net_index)
+            instances.append(
+                SteinerInstance(
+                    graph=self.graph,
+                    root=root,
+                    sinks=sinks,
+                    weights=self.prices.weights_of(net_index),
+                    cost=costs,
+                    delay=delay,
+                    bifurcation=self.bifurcation,
+                    name=f"{self.netlist.name}/{self.netlist.nets[net_index].name}",
+                )
+            )
+        return instances
+
+    def _aggregate_report(self, round_index: int, started: float) -> RoundReport:
+        report = RoundReport(round_index=round_index)
+        engines = (
+            [region.engine for region in self.regions]  # type: ignore[attr-defined]
+            + [scope.engine for scope in self.seam_scopes]
+            + [self.seam_engine]
+        )
+        for engine in engines:
+            last = engine.round_reports[-1]
+            report.num_batches += last.num_batches
+            report.nets_routed += last.nets_routed
+            report.nets_cached += last.nets_cached
+            report.nets_replayed += last.nets_replayed
+        report.walltime_seconds = time.perf_counter() - started
+        return report
+
+
+def _net_bounding_box(net: Net) -> Tuple[int, int, int, int]:
+    """Planar pin bounding box of one net (xmin, ymin, xmax, ymax)."""
+    return bounding_box(p.position for p in net.pins())

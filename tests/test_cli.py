@@ -66,6 +66,25 @@ class TestMain:
         assert main(["--resume"]) == 2
         assert "--checkpoint" in capsys.readouterr().err
 
+    def test_route_alias_with_shards(self, capsys):
+        assert main(["route", "--chip", "c1", "--net-scale", "0.4",
+                     "--shards", "4", "--json"]) == 0
+        captured = capsys.readouterr()
+        record = json.loads(captured.out)
+        assert record["chip"] == "c1" and record["Nets"] == 18
+        assert "shards: 4 regions" in captured.err
+
+    def test_shard_parity_flag(self, capsys):
+        assert main(["--chip", "c1", "--net-scale", "0.3", "--shards", "2",
+                     "--shard-parity", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "(parity mode)" in captured.err
+        assert json.loads(captured.out)["Nets"] == 14
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--shards", "0"])
+
 
 class TestServeSubcommands:
     @pytest.fixture()

@@ -1,0 +1,281 @@
+"""Tests for the shard layer: coordinator parity, fast path, serve fan-out."""
+
+import pytest
+
+from repro.core.cost_distance import CostDistanceSolver
+from repro.engine.engine import EngineConfig
+from repro.engine.rng import (
+    derive_net_rng_for_name,
+    net_name_key,
+    net_stream_seed_for_name,
+)
+from repro.grid.geometry import GridPoint
+from repro.grid.graph import build_grid_graph
+from repro.instances.chips import CHIP_SUITE, build_chip
+from repro.router.metrics import RoutingResult
+from repro.router.netlist import Net, Netlist, Pin
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.session import RoutingSession
+from repro.shard.coordinator import ShardCoordinator
+
+PARITY_FIELDS = (
+    "worst_slack",
+    "total_negative_slack",
+    "ace4",
+    "wire_length",
+    "via_count",
+    "overflow",
+    "objective",
+)
+
+
+def smoke_design(scale=0.5):
+    return build_chip(CHIP_SUITE[0].scaled(scale))
+
+
+def run_router(graph, netlist, **config):
+    router = GlobalRouter(
+        graph, netlist, CostDistanceSolver(), GlobalRouterConfig(**config)
+    )
+    return router, router.run()
+
+
+def tree_key(trees):
+    return [
+        None if t is None else (t.root, tuple(t.sinks), tuple(t.edges))
+        for t in trees
+    ]
+
+
+class TestNameKeyedRng:
+    def test_name_key_is_stable(self):
+        assert net_name_key("n0") == net_name_key("n0")
+        assert net_name_key("n0") != net_name_key("n1")
+
+    def test_streams_differ_across_seeds_and_names(self):
+        assert net_stream_seed_for_name(0, "a") != net_stream_seed_for_name(1, "a")
+        a = derive_net_rng_for_name(0, "a").random()
+        b = derive_net_rng_for_name(0, "b").random()
+        assert a != b
+        assert derive_net_rng_for_name(3, "x").random() == derive_net_rng_for_name(3, "x").random()
+
+    def test_net_keeps_stream_inside_a_sub_netlist(self):
+        """The property the shard layer and ECO memos rely on: a net's tree
+        does not depend on which netlist slice it is routed in."""
+        graph, netlist = smoke_design(0.4)
+        full, _ = run_router(graph, netlist, num_rounds=1)
+        sub_netlist = netlist.subset(list(range(netlist.num_nets - 1, -1, -1)))
+        sub, _ = run_router(graph, sub_netlist, num_rounds=1)
+        # Reversed subset: net i of `netlist` is net (N-1-i) of `sub_netlist`.
+        full_tree = full.route_single_net(0)
+        sub_tree = sub.route_single_net(netlist.num_nets - 1)
+        assert (full_tree.root, full_tree.sinks, full_tree.edges) == (
+            sub_tree.root, sub_tree.sinks, sub_tree.edges,
+        )
+
+    def test_duplicate_net_names_rejected(self):
+        nets = [
+            Net("dup", Pin("a:d", GridPoint(0, 0, 0)), [Pin("a:s", GridPoint(1, 1, 0))]),
+            Net("dup", Pin("b:d", GridPoint(2, 2, 0)), [Pin("b:s", GridPoint(3, 3, 0))]),
+        ]
+        with pytest.raises(ValueError, match="duplicate net name"):
+            Netlist("bad", nets)
+
+
+class TestShardParity:
+    def test_k4_parity_reproduces_unsharded_bit_for_bit(self):
+        """The acceptance criterion: sharded K=4 parity routing equals the
+        unsharded router exactly on every metric and every tree."""
+        graph, netlist = smoke_design(0.5)
+        plain_router, plain = run_router(
+            graph, netlist, num_rounds=3, cost_refresh_interval=10**9
+        )
+        shard_router, sharded = run_router(
+            graph, netlist, num_rounds=3, cost_refresh_interval=10**9,
+            shards=4, shard_parity=True,
+        )
+        for field in PARITY_FIELDS:
+            assert getattr(sharded, field) == getattr(plain, field), field
+        assert tree_key(shard_router.trees) == tree_key(plain_router.trees)
+
+    def test_parity_holds_for_strip_partitions(self):
+        graph, netlist = smoke_design(0.4)
+        _, plain = run_router(
+            graph, netlist, num_rounds=2, cost_refresh_interval=10**9
+        )
+        _, sharded = run_router(
+            graph, netlist, num_rounds=2, cost_refresh_interval=10**9,
+            shards=2, shard_parity=True,
+        )
+        for field in PARITY_FIELDS:
+            assert getattr(sharded, field) == getattr(plain, field), field
+
+
+class TestShardFastPath:
+    def test_fast_path_routes_every_net(self):
+        graph, netlist = smoke_design(0.5)
+        router, result = run_router(graph, netlist, num_rounds=2, shards=4)
+        assert isinstance(router.engine, ShardCoordinator)
+        assert all(tree is not None for tree in router.trees)
+        assert result.num_nets == netlist.num_nets
+        assert result.wire_length > 0
+        stats = router.engine.stats
+        assert stats.num_regions == 4
+        assert stats.total_interior + stats.seam_nets == netlist.num_nets
+
+    def test_fast_path_is_deterministic(self):
+        graph, netlist = smoke_design(0.4)
+        router_a, a = run_router(graph, netlist, num_rounds=2, shards=4)
+        router_b, b = run_router(graph, netlist, num_rounds=2, shards=4)
+        for field in PARITY_FIELDS:
+            assert getattr(a, field) == getattr(b, field), field
+        assert tree_key(router_a.trees) == tree_key(router_b.trees)
+
+    def test_interior_trees_stay_inside_their_region(self):
+        graph, netlist = smoke_design(0.5)
+        router, _ = run_router(graph, netlist, num_rounds=2, shards=4)
+        coordinator = router.engine
+        for region_index, interior in enumerate(
+            coordinator.classification.interior
+        ):
+            box = coordinator.partition.regions[region_index].box
+            for net_index in interior:
+                tree = router.trees[net_index]
+                for edge in tree.edges:
+                    for node in (int(graph.edge_u[edge]), int(graph.edge_v[edge])):
+                        x, y = graph.node_planar(node)
+                        assert box.xlo <= x <= box.xhi
+                        assert box.ylo <= y <= box.yhi
+
+    def test_all_seam_netlist_degenerates_to_global_routing(self):
+        graph = build_grid_graph(16, 16, 4)
+        nets = [
+            Net(f"n{i}", Pin(f"n{i}:d", GridPoint(0, i, 0)),
+                [Pin(f"n{i}:s0", GridPoint(15, i, 0))])
+            for i in range(4)
+        ]
+        netlist = Netlist("spans", nets, [], clock_period=400.0)
+        router, result = run_router(graph, netlist, num_rounds=2, shards=4)
+        assert router.engine.stats.seam_nets == 4
+        assert router.engine.stats.total_interior == 0
+        assert all(tree is not None for tree in router.trees)
+        _, plain = run_router(graph, netlist, num_rounds=2)
+        # With no interior nets the shard flow is the plain flow.
+        for field in PARITY_FIELDS:
+            assert getattr(result, field) == getattr(plain, field), field
+
+    def test_checkpoint_resume_through_shards(self, tmp_path):
+        from repro.serve.checkpoint import resume_router, save_checkpoint
+
+        graph, netlist = smoke_design(0.4)
+        path = str(tmp_path / "shard.ckpt")
+        uninterrupted, expected = run_router(
+            graph, netlist, num_rounds=3, shards=4
+        )
+
+        def hook(router, round_index):
+            if round_index == 1:
+                save_checkpoint(router, path)
+
+        first = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=3, shards=4),
+        )
+        first.run(on_round_end=hook)
+        resumed = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=3, shards=4),
+        )
+        assert resume_router(resumed, path)
+        assert resumed.rounds_completed == 2
+        result = resumed.run()
+        for field in PARITY_FIELDS:
+            assert getattr(result, field) == getattr(expected, field), field
+        assert tree_key(resumed.trees) == tree_key(uninterrupted.trees)
+
+    def test_replay_logs_rejected_through_shards(self):
+        graph, netlist = smoke_design(0.3)
+        router = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=1, shards=2),
+        )
+        with pytest.raises(ValueError, match="replay"):
+            router.run(record_log=True)
+
+    def test_sessions_require_unsharded_flow(self):
+        graph, netlist = smoke_design(0.3)
+        with pytest.raises(ValueError, match="unsharded"):
+            RoutingSession(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(shards=2),
+            )
+
+    def test_record_instances_covers_every_net(self):
+        graph, netlist = smoke_design(0.4)
+        router = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=2, shards=4, record_instances=True),
+        )
+        router.run()
+        assert len(router.collected_instances) == netlist.num_nets
+        recorded = sorted(instance.name for instance in router.collected_instances)
+        expected = sorted(
+            f"{netlist.name}/{net.name}" for net in netlist.nets
+        )
+        assert recorded == expected
+
+
+class TestServeShardJobs:
+    @pytest.fixture()
+    def daemon(self):
+        daemon = ServeDaemon(port=0, job_workers=2)
+        daemon.start()
+        yield daemon
+        daemon.shutdown()
+
+    def test_shard_job_fans_out_and_merges(self, daemon):
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        job_id = client.submit_shard(chip="c1", net_scale=0.4, rounds=2, shards=4)
+        record = client.wait(job_id, timeout=300)
+        assert record["status"] == "done", record
+        payload = record["result"]
+        merged = RoutingResult.from_dict(payload["result"])
+        assert merged.num_nets == 18  # c1 scaled 0.4
+        assert merged.wire_length > 0
+        assert payload["shards"] == 4
+        assert payload["seam_nets"] + sum(payload["interior_nets"]) == 18
+        child_wl = 0.0
+        for child_id in payload["subjobs"]:
+            child = client.result(child_id)
+            assert child["status"] == "done"
+            assert child["params"]["parent"] == job_id
+            child_result = RoutingResult.from_dict(child["result"]["result"])
+            assert child_result.num_nets > 0
+            assert len(child["result"]["usage"]) > 0
+            child_wl += child_result.wire_length
+        # The merged wire length covers the children plus the seam pass.
+        assert child_wl <= merged.wire_length
+
+    def test_shard_job_rejects_sessions_and_k1(self, daemon):
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        job_id = client.submit_shard(chip="c1", net_scale=0.3, rounds=1, shards=1)
+        record = client.wait(job_id, timeout=120)
+        assert record["status"] == "failed"
+        assert "shards >= 2" in record["error"]
+
+    def test_route_job_with_session_and_shards_fails(self, daemon):
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        job_id = client.submit_route(
+            chip="c1", net_scale=0.3, rounds=1, shards=2, session="s1"
+        )
+        record = client.wait(job_id, timeout=120)
+        assert record["status"] == "failed"
+        assert "unsharded" in record["error"]
