@@ -2,11 +2,15 @@
 
 Routes the large synthetic chip (48x48 tiles, 15 layers, mostly-small
 clustered nets -- see :func:`repro.instances.chips.large_chip`) through the
-classic single-region flow and through the shard coordinator at K=4, and
-records
+classic single-region flow, through the shard coordinator at K=4, and
+through the region-parallel shard backend (K=4 on a 2-worker process pool),
+and records
 
-* the wall-clock speedup of the sharded flow (best of two runs per mode, so
-  a noisy neighbour cannot manufacture or hide a regression),
+* the wall-clock speedup of the sharded flow (best of three runs per mode,
+  so a noisy neighbour cannot manufacture or hide a regression),
+* the *stacked* speedup of the region pool over the serial shard loop --
+  the regions of one round are independent, so on a multi-core machine the
+  pool win multiplies the ~1.6x subgraph win,
 * the quality deltas the decomposition costs: wire length, overflow and
   ACE4 against the 1-shard baseline (the seam stitching keeps these small),
 * the interior/seam split of the partition.
@@ -16,24 +20,32 @@ per-net full-graph costs, which only dominates past a minimum design size.
 The net-count scale therefore floors ``REPRO_BENCH_SCALE`` at 0.8 -- scaling
 the large chip down to smoke size would benchmark the wrong workload class.
 
-A parity check asserts the shard machinery itself is lossless: at K=4 in
-parity mode the sharded flow must reproduce the unsharded metrics bit for
-bit (the engine-level guarantee behind the speedup numbers).
+Two parity checks assert the shard machinery itself is lossless: the
+region-parallel run must equal the serial shard run bit for bit on every
+metric (always -- that is the backend contract), and at K=4 in parity mode
+the sharded flow must reproduce the unsharded metrics bit for bit.  The
+pool *speedup* is only asserted on multi-core hosts with a live pool; on a
+single core the pool can only add overhead, and in sandboxes without
+process pools the backend degrades to the serial loop by design.
 """
 
+import os
 import time
 
 import pytest
 
 from repro.core.cost_distance import CostDistanceSolver
 from repro.instances.chips import large_chip
-from repro.router.metrics import format_result_row
+from repro.router.metrics import PARITY_FIELDS, format_result_row
 from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.shard.executor import ProcessRegionExecutor
 
 from benchmarks.conftest import bench_scale, write_result
 
 #: Regions of the sharded mode under test (the acceptance configuration).
 NUM_SHARDS = 4
+#: Region-pool workers of the parallel mode under test.
+NUM_WORKERS = 2
 #: Resource-sharing rounds per flow.
 NUM_ROUNDS = 3
 #: Minimum net-count scale (see module docstring).
@@ -41,16 +53,10 @@ MIN_SCALE = 0.8
 #: Timed runs per mode; the best wall time of each mode is recorded (the
 #: minimum is the standard noise-robust estimator for CPU-bound code).
 REPEATS = 3
-
-PARITY_FIELDS = (
-    "worst_slack",
-    "total_negative_slack",
-    "ace4",
-    "wire_length",
-    "via_count",
-    "overflow",
-    "objective",
-)
+#: Regression floor of the stacked region-pool speedup on multi-core hosts.
+#: The issue-level target is 1.3x at 4 regions / 2 workers; 1.2 is the
+#: regression floor that still fails if the pool path stops overlapping.
+POOL_SPEEDUP_FLOOR = 1.2
 
 
 def shard_scale() -> float:
@@ -73,11 +79,15 @@ def test_shard_scaling_and_seam_quality(benchmark):
 
     def run_all():
         best = {}
-        # Modes interleave across repeats so machine noise hits both evenly.
+        # Modes interleave across repeats so machine noise hits all evenly.
         for _ in range(REPEATS):
             for mode, config in (
                 ("1-shard", {}),
                 (f"{NUM_SHARDS}-shard", {"shards": NUM_SHARDS}),
+                (
+                    f"{NUM_SHARDS}-shard-{NUM_WORKERS}w",
+                    {"shards": NUM_SHARDS, "shard_workers": NUM_WORKERS},
+                ),
             ):
                 router, result, walltime = route_large_chip(graph, netlist, **config)
                 if mode not in best or walltime < best[mode][2]:
@@ -87,18 +97,31 @@ def test_shard_scaling_and_seam_quality(benchmark):
     best = benchmark.pedantic(run_all, rounds=1, iterations=1)
     base_router, base, base_time = best["1-shard"]
     shard_router, sharded, shard_time = best[f"{NUM_SHARDS}-shard"]
+    pool_router, pooled, pool_time = best[f"{NUM_SHARDS}-shard-{NUM_WORKERS}w"]
     speedup = base_time / shard_time
+    pool_speedup = shard_time / pool_time
+    stacked_speedup = base_time / pool_time
     stats = shard_router.engine.stats
+    pool_executor = pool_router.engine.region_executor
+    pool_live = (
+        isinstance(pool_executor, ProcessRegionExecutor) and pool_executor.pool_used
+    )
+    cores = os.cpu_count() or 1
 
     lines = [
         f"Shard scaling on the large synthetic chip "
         f"({graph.nx}x{graph.ny}x{graph.num_layers}, {netlist.num_nets} nets, "
         f"net scale {shard_scale()}, {NUM_ROUNDS} rounds, best of {REPEATS})",
         "",
-        f"  1-shard: {format_result_row(base)}  wall={base_time:6.2f}s",
-        f"  {NUM_SHARDS}-shard: {format_result_row(sharded)}  wall={shard_time:6.2f}s",
+        f"  1-shard:    {format_result_row(base)}  wall={base_time:6.2f}s",
+        f"  {NUM_SHARDS}-shard:    {format_result_row(sharded)}  wall={shard_time:6.2f}s",
+        f"  {NUM_SHARDS}-shard-{NUM_WORKERS}w: {format_result_row(pooled)}  wall={pool_time:6.2f}s",
         "",
-        f"  speedup:        {speedup:.2f}x wall-clock at {NUM_SHARDS} shards",
+        f"  speedup:        {speedup:.2f}x wall-clock at {NUM_SHARDS} shards (serial regions)",
+        f"  region pool:    {pool_speedup:.2f}x over serial shards, "
+        f"{stacked_speedup:.2f}x stacked over 1-shard "
+        f"({NUM_WORKERS} workers, {cores} cores, "
+        f"{'process pool' if pool_live else 'degraded to serial loop'})",
         f"  partition:      interior {list(stats.interior_nets)}, "
         f"seam {stats.seam_nets} ({stats.scoped_seam_nets} scoped to "
         f"super-regions, {stats.global_seam_nets} global)",
@@ -107,23 +130,44 @@ def test_shard_scaling_and_seam_quality(benchmark):
         f"overflow {sharded.overflow - base.overflow:+.2f}, "
         f"ACE4 {sharded.ace4 - base.ace4:+.2f}",
     ]
+    if cores < 2:
+        lines.append(
+            "  note:           single-core host; the region pool cannot "
+            "overlap work here (the >=1.3x target applies at 2+ cores)"
+        )
     write_result("shard_scaling", "\n".join(lines))
     benchmark.extra_info["speedup"] = round(speedup, 3)
+    benchmark.extra_info["pool_speedup"] = round(pool_speedup, 3)
+    benchmark.extra_info["stacked_speedup"] = round(stacked_speedup, 3)
     benchmark.extra_info["base_walltime"] = round(base_time, 3)
     benchmark.extra_info["shard_walltime"] = round(shard_time, 3)
+    benchmark.extra_info["pool_walltime"] = round(pool_time, 3)
+    benchmark.extra_info["cores"] = cores
+    benchmark.extra_info["pool_live"] = pool_live
     benchmark.extra_info["seam_wl_delta"] = sharded.wire_length - base.wire_length
     benchmark.extra_info["seam_overflow_delta"] = sharded.overflow - base.overflow
 
     # Every net is routed and the decomposition covers the netlist.
     assert all(tree is not None for tree in shard_router.trees)
     assert stats.total_interior + stats.seam_nets == netlist.num_nets
+    # The region-parallel backend is bit-identical to the serial shard loop
+    # on every metric -- this holds on any host, pool or no pool.
+    for field in PARITY_FIELDS:
+        assert getattr(pooled, field) == getattr(sharded, field), field
     # The seam stitching keeps the quality close to the unsharded flow.
     assert abs(sharded.wire_length - base.wire_length) <= 0.02 * base.wire_length
     assert sharded.overflow <= base.overflow + 0.05 * max(base.overflow, 1.0)
     # Divide-and-conquer must actually pay on the large-design class.  The
-    # measured best-of-two ratio is ~1.55-1.75x on an idle machine; 1.25 is
+    # measured best-of-three ratio is ~1.55-1.75x on an idle machine; 1.25 is
     # the regression floor that still fails if the subgraph path breaks.
     assert speedup >= 1.25, f"shard speedup collapsed: {speedup:.2f}x"
+    # The region pool must stack on top of that -- but only where it can:
+    # a live pool on a multi-core host.
+    if pool_live and cores >= 2:
+        assert pool_speedup >= POOL_SPEEDUP_FLOOR, (
+            f"region-pool speedup collapsed: {pool_speedup:.2f}x "
+            f"({NUM_WORKERS} workers on {cores} cores)"
+        )
 
 
 def test_shard_parity_on_large_chip():
@@ -136,3 +180,23 @@ def test_shard_parity_on_large_chip():
     )
     for field in PARITY_FIELDS:
         assert getattr(sharded, field) == getattr(base, field), field
+
+
+def test_region_pool_parity_on_large_chip():
+    """The region pool reproduces the serial shard loop bit for bit on the
+    large chip -- the per-tree determinism check behind the speedup numbers
+    (scale-independent, so it runs small)."""
+    graph, netlist = large_chip(0.25)
+    serial_router, serial, _ = route_large_chip(graph, netlist, shards=NUM_SHARDS)
+    pool_router, pooled, _ = route_large_chip(
+        graph, netlist, shards=NUM_SHARDS, shard_workers=NUM_WORKERS
+    )
+    for field in PARITY_FIELDS:
+        assert getattr(pooled, field) == getattr(serial, field), field
+    assert [
+        None if t is None else (t.root, tuple(t.sinks), tuple(t.edges))
+        for t in pool_router.trees
+    ] == [
+        None if t is None else (t.root, tuple(t.sinks), tuple(t.edges))
+        for t in serial_router.trees
+    ]

@@ -124,7 +124,17 @@ def scenario_serve_throughput() -> List[Dict[str, object]]:
 
 
 def scenario_shard_scaling() -> List[Dict[str, object]]:
-    """1-shard vs 4-shard routing of the large chip (best of two runs)."""
+    """1-shard vs 4-shard vs region-pooled routing of the large chip.
+
+    The pooled mode (4 regions on a 2-worker process pool) is bit-identical
+    to the serial shard loop, so its tracked metrics duplicate the shard
+    ones by construction -- recording them keeps that invariant gated.  Its
+    wall-clock speedup over serial shards is informational like every other
+    time: it depends on the host's core count (>= 1.3x is the target at 2+
+    cores; a single-core runner records ~1.0 or below).
+    """
+    import os
+
     from repro.core.cost_distance import CostDistanceSolver
     from repro.instances.chips import large_chip
     from repro.router.router import GlobalRouter, GlobalRouterConfig
@@ -149,18 +159,25 @@ def scenario_shard_scaling() -> List[Dict[str, object]]:
 
     base, base_time = best_run()
     sharded, shard_time = best_run(shards=4)
+    pooled, pool_time = best_run(shards=4, shard_workers=2)
     speedup = base_time / shard_time
     tracked = {f"base_{k}": v for k, v in _result_metrics(base).items()}
     tracked.update({f"shard_{k}": v for k, v in _result_metrics(sharded).items()})
+    tracked.update({f"pool_{k}": v for k, v in _result_metrics(pooled).items()})
     return [
         {
             "name": "shard_scaling",
             "metrics": {
                 "shards": 4,
+                "shard_workers": 2,
+                "cores": os.cpu_count() or 1,
                 "nets": netlist.num_nets,
                 "base_walltime_seconds": round(base_time, 4),
                 "shard_walltime_seconds": round(shard_time, 4),
+                "pool_walltime_seconds": round(pool_time, 4),
                 "shard_speedup": round(speedup, 3),
+                "pool_speedup_vs_serial_shards": round(shard_time / pool_time, 3),
+                "pool_speedup_stacked": round(base_time / pool_time, 3),
                 "seam_wl_delta": sharded.wire_length - base.wire_length,
                 "seam_overflow_delta": sharded.overflow - base.overflow,
             },

@@ -11,6 +11,7 @@ Examples::
     python -m repro --chip c1 --backend process --workers 4 --cache
     python -m repro --chip c2 --checkpoint run.ckpt --resume
     python -m repro route --chip c8 --shards 4
+    python -m repro route --chip c8 --shards 4 --shard-workers 2
     python -m repro --list-chips
 
     python -m repro serve --port 8642
@@ -111,6 +112,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes for the region-parallel shard pass: route the "
+            "K region interiors of each round concurrently on a process "
+            "pool (default/1 = serial; results are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--shard-parity",
         action="store_true",
         help=(
@@ -193,12 +204,14 @@ def main(argv: Optional[list] = None) -> int:
         ),
         shards=args.shards,
         shard_parity=args.shard_parity,
+        shard_workers=args.shard_workers,
     )
     print(
         f"routing {spec.name}: {netlist.num_nets} nets on {graph} "
         f"[oracle={args.oracle} backend={args.backend} scheduling={args.scheduling}"
         f"{' cache' if args.cache else ''}"
-        f"{f' shards={args.shards}' if args.shards > 1 else ''}]",
+        f"{f' shards={args.shards}' if args.shards > 1 else ''}"
+        f"{f' shard-workers={args.shard_workers}' if args.shard_workers else ''}]",
         file=sys.stderr,
     )
     router = GlobalRouter(graph, netlist, oracle, config)
@@ -207,7 +220,8 @@ def main(argv: Optional[list] = None) -> int:
         print(
             f"shards: {stats.num_regions} regions, interior nets "
             f"{list(stats.interior_nets)}, seam nets {stats.seam_nets}"
-            f"{' (parity mode)' if stats.parity else ''}",
+            f"{' (parity mode)' if stats.parity else ''}"
+            f" [regions={router.engine.region_executor.backend}]",
             file=sys.stderr,
         )
     on_round_end = None

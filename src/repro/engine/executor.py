@@ -42,8 +42,89 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "make_executor",
+    "create_worker_pool",
+    "validate_start_method",
     "EXECUTOR_BACKENDS",
 ]
+
+
+def validate_start_method(start_method: Optional[str]) -> Optional[str]:
+    """Pass ``start_method`` through, raising for unknown/unavailable ones.
+
+    Pinning a start method is an explicit request; a typo (or ``"fork"``
+    on a platform without it) must fail loudly rather than silently
+    degrade the run to a slower path.
+    """
+    if start_method is not None:
+        import multiprocessing
+
+        available = multiprocessing.get_all_start_methods()
+        if start_method not in available:
+            raise ValueError(
+                f"unknown or unavailable start method {start_method!r}; "
+                f"available: {sorted(available)}"
+            )
+    return start_method
+
+
+def create_worker_pool(
+    processes: int,
+    start_method: Optional[str] = None,
+    initializer=None,
+    initargs: Tuple = (),
+    prefer: Tuple[str, ...] = ("fork",),
+    degrade_message: str = "degrading to in-process execution",
+):
+    """Start a ``multiprocessing`` pool, or return ``None`` when this
+    environment cannot provide one.
+
+    The single pool-bootstrap-with-degradation path shared by every
+    process backend in the repo (the engine's :class:`ProcessExecutor`,
+    the shard layer's region pool, the serve daemon's shard fan-out), so
+    their degradation contracts cannot drift apart:
+
+    * ``start_method``, when given, is *validated*
+      (:func:`validate_start_method`) -- pinning an unknown method raises
+      :class:`ValueError` instead of silently falling back.
+    * Otherwise the methods in ``prefer`` are tried in order, then the
+      platform default.  ``fork`` is the usual preference (workers inherit
+      ``sys.path``); callers embedded in multi-threaded processes should
+      prefer ``("forkserver", "spawn")``, where ``fork`` is deadlock-prone.
+    * When no pool can be started -- sandboxes routinely forbid
+      ``fork``/semaphores -- a single :class:`RuntimeWarning` carries
+      ``degrade_message`` and ``None`` is returned: degradation costs
+      parallelism, never correctness.
+    """
+    import multiprocessing
+
+    validate_start_method(start_method)
+    try:
+        if start_method is not None:
+            context = multiprocessing.get_context(start_method)
+        else:
+            context = None
+            for method in prefer:
+                try:
+                    context = multiprocessing.get_context(method)
+                    break
+                except ValueError:  # pragma: no cover - platform-dependent
+                    continue
+            if context is None:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+        return context.Pool(
+            processes=processes, initializer=initializer, initargs=initargs
+        )
+    except (ImportError, OSError, PermissionError, RuntimeError, AssertionError) as exc:
+        # AssertionError is what the stdlib raises for daemonic nesting
+        # ("daemonic processes are not allowed to have children") -- e.g. a
+        # shard child running inside the serve daemon's region pool trying
+        # to start its own engine pool.  Degrading is exactly right there.
+        warnings.warn(
+            f"multiprocessing pool unavailable ({exc}); {degrade_message}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
 
 @dataclass(frozen=True)
@@ -98,6 +179,9 @@ class BatchExecutor:
         self.oracle = oracle
         self.bifurcation = bifurcation
         self.seed = seed
+        #: Flips to ``True`` on :meth:`close`; lifecycle tests (and the
+        #: shard coordinator's teardown guarantees) assert on it.
+        self.closed = False
         self._delay = graph.delay_array()
 
     # ------------------------------------------------------------------ API
@@ -109,6 +193,7 @@ class BatchExecutor:
 
     def close(self) -> None:
         """Release backend resources (worker pools).  Idempotent."""
+        self.closed = True
 
     def __enter__(self) -> "BatchExecutor":
         return self
@@ -210,38 +295,28 @@ class ProcessExecutor(BatchExecutor):
         """The worker pool, or ``None`` when this environment cannot start
         one (the degradation is remembered and warned about only once)."""
         if self._pool is None and not self._pool_unavailable:
-            try:
-                import multiprocessing
-
-                # Prefer fork: workers inherit sys.path (the repo uses a src/
-                # layout that may only exist on the parent's sys.path) and the
-                # initializer payload is then merely a consistency guarantee.
-                try:
-                    context = multiprocessing.get_context("fork")
-                except ValueError:  # pragma: no cover - non-POSIX platforms
-                    context = multiprocessing.get_context()
-                payload = pickle.dumps(
-                    {
-                        "graph": self.graph,
-                        "oracle": self.oracle,
-                        "bifurcation": self.bifurcation,
-                        "seed": self.seed,
-                    },
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
-                self._pool = context.Pool(
-                    processes=self.num_workers,
-                    initializer=_worker_init,
-                    initargs=(payload,),
-                )
-            except (ImportError, OSError, PermissionError, RuntimeError) as exc:
+            # Prefer fork: workers inherit sys.path (the repo uses a src/
+            # layout that may only exist on the parent's sys.path) and the
+            # initializer payload is then merely a consistency guarantee.
+            payload = pickle.dumps(
+                {
+                    "graph": self.graph,
+                    "oracle": self.oracle,
+                    "bifurcation": self.bifurcation,
+                    "seed": self.seed,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._pool = create_worker_pool(
+                self.num_workers,
+                initializer=_worker_init,
+                initargs=(payload,),
+                degrade_message=(
+                    "the process backend degrades to in-process serial routing"
+                ),
+            )
+            if self._pool is None:
                 self._pool_unavailable = True
-                warnings.warn(
-                    f"multiprocessing pool unavailable ({exc}); the process "
-                    "backend degrades to in-process serial routing",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
         return self._pool
 
     def close(self) -> None:
@@ -249,6 +324,7 @@ class ProcessExecutor(BatchExecutor):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        super().close()
 
     # ------------------------------------------------------------------ API
     def route_batch(

@@ -11,7 +11,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["RoutingResult", "format_result_row"]
+__all__ = ["RoutingResult", "PARITY_FIELDS", "format_result_row"]
+
+#: The deterministic metric fields of :class:`RoutingResult` -- everything
+#: except the wall-clock time.  Bit-exactness contracts (engine backends,
+#: shard parity mode, the region pool) are asserted over exactly these
+#: fields; tests and benchmarks import this tuple so the contract cannot
+#: silently diverge between batteries.
+PARITY_FIELDS = (
+    "worst_slack",
+    "total_negative_slack",
+    "ace4",
+    "wire_length",
+    "via_count",
+    "overflow",
+    "objective",
+)
 
 
 @dataclass

@@ -92,6 +92,18 @@ class GlobalRouterConfig:
         Tiles added around each net's pin bounding box before deciding
         whether it is interior to a region; larger halos classify more nets
         as seam-crossing.
+    shard_workers:
+        Worker processes for the region-parallel interior pass of the shard
+        layer.  ``None`` or ``1`` (default) routes the K regions serially
+        in-process; ``> 1`` fans them out over a process pool (see
+        :mod:`repro.shard.executor`).  All values produce bit-identical
+        results -- regions are independent by construction and their deltas
+        are stitched in fixed region order -- so this knob, like the engine
+        backend, is excluded from checkpoint fingerprints.
+    shard_start_method:
+        ``multiprocessing`` start method of the shard worker pool
+        (``"fork"`` / ``"spawn"`` / ``"forkserver"``); ``None`` prefers
+        ``fork`` where available.
     """
 
     num_rounds: int = 2
@@ -105,12 +117,16 @@ class GlobalRouterConfig:
     shards: int = 1
     shard_parity: bool = False
     shard_halo: int = 0
+    shard_workers: Optional[int] = None
+    shard_start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be at least 1")
         if self.shard_halo < 0:
             raise ValueError("shard_halo must be non-negative")
+        if self.shard_workers is not None and self.shard_workers < 1:
+            raise ValueError("shard_workers must be positive")
 
 
 class GlobalRouter:
@@ -153,6 +169,8 @@ class GlobalRouter:
                 shards=self.config.shards,
                 parity=self.config.shard_parity,
                 halo=self.config.shard_halo,
+                workers=self.config.shard_workers,
+                start_method=self.config.shard_start_method,
             )
         else:
             self.engine = RoutingEngine(

@@ -94,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="halo tiles around net boxes for interior/seam classification",
     )
     submit.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes for the region fan-out of a --shards job "
+            "(default: one dedicated thread per region; results are "
+            "bit-identical either way)"
+        ),
+    )
+    submit.add_argument(
         "--session",
         default=None,
         help="open a persistent session under this name (target of later eco jobs)",
@@ -172,6 +182,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             raise ServeError("sessions and --shards are mutually exclusive")
         params["shards"] = args.shards
         params["shard_halo"] = args.shard_halo
+        if args.shard_workers is not None:
+            params["shard_workers"] = args.shard_workers
         job_id = client.submit_shard(**params)
     else:
         if args.session:

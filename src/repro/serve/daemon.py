@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.engine.engine import EngineConfig
+from repro.engine.executor import create_worker_pool
 from repro.grid.congestion import CongestionMap
 from repro.grid.partition import partition_grid
 from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip
@@ -57,16 +58,38 @@ def _engine_config_from_params(params: Dict[str, object]) -> EngineConfig:
     )
 
 
+def _daemon_safe_start_method() -> str:
+    """The region-pool start method for routers living inside the daemon.
+
+    The daemon process is multi-threaded (listener, handler threads, job
+    workers); ``fork`` -- the region pool's usual preference -- can copy a
+    held lock into the child there, so in-daemon routers pin ``forkserver``
+    (or ``spawn`` where unavailable) instead.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
 def _router_config_from_params(
     params: Dict[str, object], force_single_shard: bool = False
 ) -> GlobalRouterConfig:
+    shard_workers = params.get("shard_workers")
+    shards = 1 if force_single_shard else int(params.get("shards", 1))  # type: ignore[arg-type]
     return GlobalRouterConfig(
         num_rounds=int(params.get("rounds", 2)),  # type: ignore[arg-type]
         seed=int(params.get("seed", 0)),  # type: ignore[arg-type]
         engine=_engine_config_from_params(params),
-        shards=1 if force_single_shard else int(params.get("shards", 1)),  # type: ignore[arg-type]
+        shards=shards,
         shard_parity=bool(params.get("shard_parity", False)),
         shard_halo=int(params.get("shard_halo", 0)),  # type: ignore[arg-type]
+        shard_workers=None if shard_workers is None else int(shard_workers),  # type: ignore[arg-type]
+        shard_start_method=(
+            _daemon_safe_start_method()
+            if shards > 1 and shard_workers is not None and int(shard_workers) > 1  # type: ignore[arg-type]
+            else None
+        ),
     )
 
 
@@ -79,6 +102,49 @@ def _chip_from_params(params: Dict[str, object]) -> ChipSpec:
     if net_scale != 1.0:
         spec = spec.scaled(net_scale)
     return spec
+
+
+def _route_shard_child(
+    params: Dict[str, object], on_round_end=None
+) -> Dict[str, object]:
+    """Route one region child of a shard job: pure ``params -> payload``.
+
+    Module-level (and free of daemon state) so the region pool of
+    :meth:`ServeDaemon._run_children_on_pool` can execute children in
+    worker processes; the dedicated-thread fallback runs the same function
+    in-process with a cancellation hook, so both paths produce identical
+    payloads.
+    """
+    spec = _chip_from_params(params)
+    graph, netlist = build_chip(spec)
+    oracle = make_oracle(str(params.get("oracle", "CD")))
+    # A shard child routes one region's interior sub-netlist; its own flow
+    # is single-region (the parent owns the decomposition).
+    config = _router_config_from_params(params, force_single_shard=True)
+    partition = partition_grid(
+        graph.nx, graph.ny, int(params.get("shards", 1))  # type: ignore[arg-type]
+    )
+    classification = partition.classify_nets(
+        netlist, halo=int(params.get("shard_halo", 0))  # type: ignore[arg-type]
+    )
+    shard_index = int(params["shard_index"])  # type: ignore[arg-type]
+    netlist = netlist.subset(classification.interior[shard_index])
+    router = GlobalRouter(graph, netlist, oracle, config)
+    result = router.run(on_round_end=on_round_end)
+    payload: Dict[str, object] = {
+        "result": result.as_dict(),
+        "session": None,
+        "backend": config.engine.backend,
+        "shard_index": shard_index,
+    }
+    if params.get("emit_usage"):
+        # Shard children ship their final congestion usage so the parent
+        # can stitch the regions before routing the seam nets.
+        payload["usage"] = router.congestion.usage.tolist()
+    if router.engine.cache is not None:
+        stats = router.engine.cache.stats
+        payload["cache"] = {"hits": stats.hits, "lookups": stats.lookups}
+    return payload
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -301,24 +367,14 @@ class ServeDaemon:
     def _run_route(
         self, params: Dict[str, object], cancel: threading.Event
     ) -> Dict[str, object]:
+        if params.get("shard_index") is not None:
+            # Region child of a shard job (dedicated-thread path); identical
+            # to the pool path modulo the cancellation hook.
+            return _route_shard_child(params, on_round_end=self._cancel_hook(cancel))
         spec = _chip_from_params(params)
         graph, netlist = build_chip(spec)
         oracle = make_oracle(str(params.get("oracle", "CD")))
-        # A shard child routes one region's interior sub-netlist; its own
-        # flow is single-region (the parent owns the decomposition).
-        shard_index = params.get("shard_index")
-        config = _router_config_from_params(
-            params, force_single_shard=shard_index is not None
-        )
-        if shard_index is not None:
-            partition = partition_grid(
-                graph.nx, graph.ny, int(params.get("shards", 1))  # type: ignore[arg-type]
-            )
-            classification = partition.classify_nets(
-                netlist, halo=int(params.get("shard_halo", 0))  # type: ignore[arg-type]
-            )
-            interior = classification.interior[int(shard_index)]  # type: ignore[arg-type]
-            netlist = netlist.subset(interior)
+        config = _router_config_from_params(params)
         session_name = params.get("session")
         if session_name is not None and config.shards > 1:
             raise ValueError(
@@ -361,11 +417,7 @@ class ServeDaemon:
             "session": None,
             "backend": config.engine.backend,
         }
-        if shard_index is not None:
-            payload["shard_index"] = int(shard_index)  # type: ignore[arg-type]
         if params.get("emit_usage"):
-            # Shard children ship their final congestion usage so the parent
-            # can stitch the regions before routing the seam nets.
             payload["usage"] = router.congestion.usage.tolist()
         if router.engine.cache is not None:
             stats = router.engine.cache.stats
@@ -378,16 +430,20 @@ class ServeDaemon:
         """Fan one design out as K region sub-jobs, then stitch and merge.
 
         Every region with interior nets becomes a real ``route`` job in the
-        store (visible via ``status``), executed on a dedicated thread so a
-        shard job can never deadlock the worker pool against its own
-        children.  The parent stitches the children's congestion usage,
-        routes the seam-crossing nets against it, and returns one merged
-        :class:`RoutingResult` record: additive metrics (wire length, vias,
-        TNS, objective, nets) are summed, worst slack is the minimum, and
-        the congestion metrics (ACE4, overflow) are computed on the stitched
-        full-design map.  Timing stages crossing region boundaries are
-        relaxed in this path -- the in-process coordinator
-        (``route --shards K``) keeps them.
+        store (visible via ``status``).  With ``shard_workers > 1`` the
+        children execute on a ``multiprocessing`` pool
+        (:meth:`_run_children_on_pool`); otherwise -- and when no pool can
+        be started in this environment -- each child runs on a dedicated
+        thread, so a shard job can never deadlock the daemon's worker pool
+        against its own children.  Both paths produce bit-identical child
+        payloads (children are pure functions of their params).  The parent
+        stitches the children's congestion usage, routes the seam-crossing
+        nets against it, and returns one merged :class:`RoutingResult`
+        record: additive metrics (wire length, vias, TNS, objective, nets)
+        are summed, worst slack is the minimum, and the congestion metrics
+        (ACE4, overflow) are computed on the stitched full-design map.
+        Timing stages crossing region boundaries are relaxed in this path --
+        the in-process coordinator (``route --shards K``) keeps them.
         """
         started = time.perf_counter()
         spec = _chip_from_params(params)
@@ -403,44 +459,39 @@ class ServeDaemon:
         child_params_base = {
             key: value
             for key, value in params.items()
-            if key not in ("session", "shard_index", "emit_usage")
+            if key not in ("session", "shard_index", "emit_usage", "shard_workers")
         }
         children: List[str] = []
-        threads: List[threading.Thread] = []
+        child_params_list: List[Dict[str, object]] = []
         for region_index, interior in enumerate(classification.interior):
             if not interior:
                 continue
-            child = self.store.submit(
-                "route",
-                {
-                    **child_params_base,
-                    "shard_index": region_index,
-                    "emit_usage": True,
-                    "parent": job_id,
-                },
-            )
+            child_params = {
+                **child_params_base,
+                "shard_index": region_index,
+                "emit_usage": True,
+                "parent": job_id,
+            }
+            child = self.store.submit("route", child_params)
             children.append(child.job_id)
+            child_params_list.append(child_params)
+            # Registered up front so `cancel` requests against individual
+            # children work on both execution paths.
             self._cancel_flags[child.job_id] = threading.Event()
-            thread = threading.Thread(
-                target=self._run_job,
-                args=(child.job_id,),
-                name=f"repro-shard-{child.job_id}",
-                daemon=True,
-            )
-            threads.append(thread)
-            thread.start()
+
+        workers = int(params.get("shard_workers") or 1)  # type: ignore[arg-type]
+        region_backend = "threads"
         try:
-            for thread in threads:
-                while thread.is_alive():
-                    thread.join(timeout=0.1)
-                    if cancel.is_set():
-                        for child_id in children:
-                            flag = self._cancel_flags.get(child_id)
-                            if flag is not None:
-                                flag.set()
+            if workers > 1 and len(children) > 1:
+                if self._run_children_on_pool(
+                    children, child_params_list, cancel, workers
+                ):
+                    region_backend = "process"
+            if region_backend == "threads":
+                self._run_children_on_threads(children, cancel)
         finally:
-            for thread in threads:
-                thread.join()
+            for child_id in children:
+                self._cancel_flags.pop(child_id, None)
         if cancel.is_set():
             raise JobCancelled()
 
@@ -486,7 +537,130 @@ class ServeDaemon:
             "seam_nets": len(seam),
             "interior_nets": [len(r) for r in classification.interior],
             "backend": str(params.get("backend", "serial")),
+            "region_backend": region_backend,
+            "shard_workers": workers,
         }
+
+    def _run_children_on_threads(
+        self, children: List[str], cancel: threading.Event
+    ) -> None:
+        """The dedicated-thread child path (and the pool's fallback).
+        Child cancel flags are registered by the caller."""
+        threads: List[threading.Thread] = []
+        for child_id in children:
+            thread = threading.Thread(
+                target=self._run_job,
+                args=(child_id,),
+                name=f"repro-shard-{child_id}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+        try:
+            for thread in threads:
+                while thread.is_alive():
+                    thread.join(timeout=0.1)
+                    if cancel.is_set():
+                        for child_id in children:
+                            flag = self._cancel_flags.get(child_id)
+                            if flag is not None:
+                                flag.set()
+        finally:
+            for thread in threads:
+                thread.join()
+
+    def _run_children_on_pool(
+        self,
+        children: List[str],
+        child_params_list: List[Dict[str, object]],
+        cancel: threading.Event,
+        workers: int,
+    ) -> bool:
+        """Route the child jobs on a ``multiprocessing`` pool.
+
+        Returns ``False`` when no pool could be started in this environment
+        (sandboxes routinely forbid process pools); the caller then falls
+        back to the dedicated-thread path -- same results, no parallelism.
+        The pool prefers ``forkserver``/``spawn``: the daemon process is
+        multi-threaded (listener, handler threads, job workers), where
+        ``fork`` can copy held locks into the child; the children are
+        module-level pure functions, so a clean interpreter works.
+
+        Cancelling the *parent* tears the pool down immediately (there is
+        no cooperative handshake with a worker process, and children are
+        pure, so discarding half-finished work is safe).  Cancelling an
+        *individual child* marks it cancelled as soon as the flag is seen
+        -- its in-flight computation cannot be interrupted, but its result
+        is discarded and the parent's stitch step then fails, exactly like
+        on the thread path.
+        """
+        import multiprocessing
+
+        pool = create_worker_pool(
+            min(workers, len(children)),
+            prefer=("forkserver", "spawn"),
+            degrade_message="shard children fall back to dedicated threads",
+        )
+        if pool is None:
+            return False
+
+        def sweep_child_cancels() -> None:
+            # Flagged children flip terminal right away; a later mark_done
+            # for them is a no-op (terminal states are sticky), which is
+            # what discards the worker's result.
+            for child_id in children:
+                flag = self._cancel_flags.get(child_id)
+                if flag is not None and flag.is_set():
+                    self.store.mark_cancelled(child_id)
+
+        failed: List[str] = []
+        try:
+            for child_id in children:
+                self.store.mark_running(child_id)
+            results = pool.imap(_route_shard_child, child_params_list)
+            # imap yields per-child outcomes in submission order, each one
+            # either a payload or that child's own exception -- so errors
+            # land on the child that raised them, and siblings keep their
+            # real results, exactly like on the thread path.
+            for child_id in children:
+                payload = None
+                error: Optional[str] = None
+                while True:
+                    sweep_child_cancels()
+                    if cancel.is_set():
+                        raise JobCancelled()
+                    try:
+                        payload = results.next(timeout=0.2)
+                    except multiprocessing.TimeoutError:
+                        continue
+                    except Exception as exc:  # this child's own failure
+                        error = f"{type(exc).__name__}: {exc}"
+                    break
+                if error is not None:
+                    self.store.mark_failed(child_id, error)
+                    failed.append(child_id)
+                else:
+                    self.store.mark_done(child_id, payload)  # no-op if cancelled
+        except JobCancelled:
+            for child_id in children:
+                self.store.mark_cancelled(child_id)  # no-op on finished ones
+            raise
+        except Exception as exc:
+            # Infrastructure failure (store, pool plumbing): make sure no
+            # child is left dangling in a running state.
+            message = f"region pool aborted: {type(exc).__name__}: {exc}"
+            for child_id in children:
+                if self.store.get(child_id).status not in JobState.TERMINAL:
+                    self.store.mark_failed(child_id, message)
+            raise RuntimeError(message)
+        finally:
+            pool.terminate()
+            pool.join()
+        if failed:
+            raise RuntimeError(
+                f"shard sub-jobs failed on the region pool: {', '.join(failed)}"
+            )
+        return True
 
     @staticmethod
     def _merge_results(

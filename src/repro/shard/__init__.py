@@ -9,8 +9,25 @@ against the merged per-region congestion deltas.
 * :mod:`repro.shard.coordinator` -- :class:`ShardCoordinator`, a drop-in
   replacement for :class:`repro.engine.engine.RoutingEngine` selected by
   ``GlobalRouterConfig.shards > 1``.
+* :mod:`repro.shard.executor` -- :class:`RegionExecutor` backends running
+  one round's K interior passes either serially in-process or fanned out
+  over a process pool (``GlobalRouterConfig.shard_workers > 1``), with a
+  bit-identical-results contract between the two.
 """
 
 from repro.shard.coordinator import ShardCoordinator, ShardStats
+from repro.shard.executor import (
+    ProcessRegionExecutor,
+    RegionExecutor,
+    SerialRegionExecutor,
+    make_region_executor,
+)
 
-__all__ = ["ShardCoordinator", "ShardStats"]
+__all__ = [
+    "ShardCoordinator",
+    "ShardStats",
+    "RegionExecutor",
+    "SerialRegionExecutor",
+    "ProcessRegionExecutor",
+    "make_region_executor",
+]

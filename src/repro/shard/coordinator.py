@@ -9,7 +9,12 @@
    :class:`~repro.grid.congestion.CongestionMap` initialised from the
    round-start snapshot of the shared map.  Regions never see each other's
    in-round deltas, which is what makes the decomposition independent (and
-   deterministic in region order).
+   deterministic in region order).  The pass runs through a pluggable
+   :class:`~repro.shard.executor.RegionExecutor`: in-process and serial by
+   default, or fanned out over a process pool with
+   ``GlobalRouterConfig.shard_workers > 1`` -- both backends are
+   bit-identical because every region is a pure function of the round-start
+   state and the deltas are stitched in fixed region order either way.
 2. **Stitching** -- each region's usage delta (``delta_since`` the
    round-start snapshot) is added back onto the shared map, exactly like a
    batch of tree deltas.
@@ -57,6 +62,14 @@ from repro.grid.congestion import CongestionMap, CongestionSnapshot
 from repro.grid.graph import RoutingGraph, extract_prism
 from repro.grid.partition import NetClassification, RegionPartition, partition_grid
 from repro.grid.geometry import BoundingBox, GridPoint, bounding_box
+from repro.shard.executor import (
+    RegionExecutor,
+    RegionOutcome,
+    RegionTask,
+    decode_tree,
+    encode_tree,
+    make_region_executor,
+)
 
 if TYPE_CHECKING:  # circular at runtime: repro.router imports the engine API
     from repro.router.resource_sharing import ResourceSharingPrices
@@ -127,7 +140,12 @@ class _SubgraphScope:
         box,
         nets: List[int],
         label: str,
+        pooled: bool = False,
     ) -> None:
+        """``pooled`` marks level-0 region scopes whose rounds may execute
+        on the region pool; their local engines are then built cache-free
+        (worker twins must be round-stateless).  Seam scopes always route
+        in the parent process and keep the configured cache."""
         graph = coordinator.graph
         self.label = label
         self.box = box
@@ -145,7 +163,7 @@ class _SubgraphScope:
         # The sub-netlist keeps the parent's design name and the nets their
         # own names, so instance labels and name-keyed RNG streams line up
         # with the unsharded flow.
-        sub_netlist = Netlist(
+        self.sub_netlist = Netlist(
             name=coordinator.netlist.name,
             nets=[self._translate_net(coordinator.netlist.nets[i]) for i in nets],
             stages=[],
@@ -161,12 +179,20 @@ class _SubgraphScope:
         # snapshot; process pools per region would cost more in priming than
         # they return, so sub-engines always execute serially (the seam pass
         # still uses the configured backend through the shared executor).
+        # Under region-parallel execution the region scopes are additionally
+        # cache-free: a re-route cache would carry state across rounds
+        # inside whichever worker process routed the region last, making
+        # the region a function of pool scheduling history.
         sub_config = replace(
-            coordinator.config, backend="serial", num_workers=None, scheduling="window"
+            coordinator.config,
+            backend="serial",
+            num_workers=None,
+            scheduling="window",
+            reroute_cache=coordinator.config.reroute_cache and not pooled,
         )
         self.engine = RoutingEngine(
             graph=self.sub_graph,
-            netlist=sub_netlist,
+            netlist=self.sub_netlist,
             oracle=coordinator.oracle,
             bifurcation=coordinator.bifurcation,
             congestion=self.congestion,
@@ -256,6 +282,66 @@ class _SubgraphScope:
             )
         return self.congestion.usage - start_usage
 
+    # --------------------------------------------- region-pool integration
+    @property
+    def key(self) -> str:
+        """The scope's identity inside region-executor payloads and tasks."""
+        return self.label
+
+    def worker_spec(self) -> Dict[str, object]:
+        """The static, picklable half of this scope for pool workers.
+        Worker engines are always cache-free (round-stateless), whatever
+        the local engine's config says."""
+        return {
+            "kind": "subgraph",
+            "graph": self.sub_graph,
+            "netlist": self.sub_netlist,
+            "cost_refresh_interval": self.engine.cost_refresh_interval,
+            "config": replace(self.engine.config, reroute_cache=False),
+        }
+
+    def make_task(
+        self,
+        coordinator: "ShardCoordinator",
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        snapshot: CongestionSnapshot,
+    ) -> RegionTask:
+        """The scope's dynamic round inputs, gathered onto its subgraph."""
+        graph = coordinator.graph
+        return RegionTask(
+            key=self.key,
+            round_index=round_index,
+            usage=snapshot.usage[self.edge_to_global],
+            edge_prices=coordinator.prices.edge_prices[self.edge_to_global],
+            weights=tuple(
+                tuple(coordinator.prices.weights_of(g)) for g in self.interior
+            ),
+            trees=tuple(
+                None
+                if trees[g] is None
+                else encode_tree(self.tree_to_local(graph, trees[g]))
+                for g in self.interior
+            ),
+        )
+
+    def apply_outcome(
+        self,
+        coordinator: "ShardCoordinator",
+        trees: List[Optional[EmbeddedTree]],
+        outcome: RegionOutcome,
+    ) -> np.ndarray:
+        """Install a worker's routed trees; returns the scope-local delta."""
+        graph = coordinator.graph
+        for local_index, global_index in enumerate(self.interior):
+            record = outcome.trees[local_index]
+            trees[global_index] = (
+                None
+                if record is None
+                else self.tree_to_global(graph, decode_tree(self.sub_graph, record))
+            )
+        return np.asarray(outcome.delta, dtype=np.float64)
+
 
 class _ParityRegion:
     """One region of the parity path: an engine over the full graph."""
@@ -263,13 +349,24 @@ class _ParityRegion:
     def __init__(self, coordinator: "ShardCoordinator", region_index: int,
                  interior: List[int]) -> None:
         self.index = region_index
+        self.label = f"parity{region_index}"
         self.interior = interior
+        self.graph = coordinator.graph
+        self.netlist = coordinator.netlist
         self.congestion = CongestionMap(
             coordinator.graph,
             overflow_penalty=coordinator.congestion.overflow_penalty,
             threshold=coordinator.congestion.threshold,
         )
-        config = replace(coordinator.config, scheduling="window")
+        # Cache-free under region-parallel execution, like the subgraph
+        # scopes: pool-side region engines must be round-stateless.
+        config = replace(
+            coordinator.config,
+            scheduling="window",
+            reroute_cache=(
+                coordinator.config.reroute_cache and not coordinator.parallel_regions
+            ),
+        )
         self.engine = RoutingEngine(
             graph=coordinator.graph,
             netlist=coordinator.netlist,
@@ -297,6 +394,61 @@ class _ParityRegion:
         self.engine.route_round(round_index, trees)
         return self.congestion.delta_since(snapshot)
 
+    # --------------------------------------------- region-pool integration
+    @property
+    def key(self) -> str:
+        return self.label
+
+    def worker_spec(self) -> Dict[str, object]:
+        """The static, picklable half of this region for pool workers.
+
+        The engine backend is forced serial inside workers -- a nested
+        process pool per region would oversubscribe the machine; the
+        backends are bit-identical, so only the shape of the parallelism
+        changes, never the trees.
+        """
+        return {
+            "kind": "parity",
+            "graph": self.graph,
+            "netlist": self.netlist,
+            "interior": list(self.interior),
+            "cost_refresh_interval": self.engine.cost_refresh_interval,
+            "config": replace(
+                self.engine.config,
+                backend="serial",
+                num_workers=None,
+                reroute_cache=False,
+            ),
+        }
+
+    def make_task(
+        self,
+        coordinator: "ShardCoordinator",
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        snapshot: CongestionSnapshot,
+    ) -> RegionTask:
+        return RegionTask(
+            key=self.key,
+            round_index=round_index,
+            usage=snapshot.usage,
+            edge_prices=coordinator.prices.edge_prices,
+            weights=tuple(
+                tuple(coordinator.prices.weights_of(g)) for g in self.interior
+            ),
+            trees=tuple(encode_tree(trees[g]) for g in self.interior),
+        )
+
+    def apply_outcome(
+        self,
+        coordinator: "ShardCoordinator",
+        trees: List[Optional[EmbeddedTree]],
+        outcome: RegionOutcome,
+    ) -> np.ndarray:
+        for net_index, record in zip(self.interior, outcome.trees):
+            trees[net_index] = decode_tree(self.graph, record)
+        return np.asarray(outcome.delta, dtype=np.float64)
+
 
 class ShardCoordinator:
     """Routes rounds as K independent region passes plus a seam stitch pass.
@@ -321,7 +473,15 @@ class ShardCoordinator:
         shards: int = 2,
         parity: bool = False,
         halo: int = 0,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> None:
+        """``workers`` selects the region execution backend: ``None``/``1``
+        routes the K interior passes serially in-process, ``> 1`` fans them
+        out over a process pool of that size (see
+        :mod:`repro.shard.executor`); ``start_method`` pins the pool's
+        ``multiprocessing`` start method.  Both backends are bit-identical.
+        """
         if shards < 1:
             raise ValueError("shards must be at least 1")
         self.graph = graph
@@ -338,11 +498,25 @@ class ShardCoordinator:
         self.classification: NetClassification = self.partition.classify_nets(
             netlist, halo=halo
         )
-        #: The engine-interface cache slot.  The coordinator's sub-engines
-        #: keep private caches; there is no global signature store to
-        #: checkpoint, so this stays ``None``.
+        #: The engine-interface cache slot.  Scope engines keep private
+        #: caches (serial region backend only); there is no global
+        #: signature store to checkpoint, so this stays ``None``.
         self.cache = None
         self.round_reports: List[RoundReport] = []
+        self._closed = False
+        #: Whether the interior pass runs on a process pool; scope engines
+        #: are built cache-free in that case (round-stateless workers).
+        self.parallel_regions = workers is not None and workers > 1
+
+        #: Backend of the interior pass: the in-process serial loop, or a
+        #: process pool fanning the K regions out (``workers > 1``).  Owned
+        #: and closed by the coordinator.  Not part of the checkpoint
+        #: fingerprint -- all backends are bit-identical, so a run
+        #: checkpointed under one ``shard_workers`` value may resume under
+        #: any other.
+        self.region_executor: RegionExecutor = make_region_executor(
+            workers, start_method
+        )
 
         #: Executor shared by the full-graph engines (seam pass and parity
         #: interior passes); owned and closed by the coordinator.
@@ -363,7 +537,10 @@ class ShardCoordinator:
                 self.regions.append(_ParityRegion(self, region_index, interior))
             else:
                 self.regions.append(
-                    _SubgraphScope(self, box, interior, f"region{region_index}")
+                    _SubgraphScope(
+                        self, box, interior, f"region{region_index}",
+                        pooled=self.parallel_regions,
+                    )
                 )
 
         seam = self.classification.seam
@@ -454,21 +631,22 @@ class ShardCoordinator:
         snapshot = self.congestion.snapshot()
         round_costs = snapshot.edge_costs(self.prices.edge_prices) if record else None
         collected: List[SteinerInstance] = []
-        deltas: List[np.ndarray] = []
-        for region in self.regions:
-            if self.parity:
-                deltas.append(region.route_round(self, round_index, trees, snapshot))
-            else:
-                deltas.append(
-                    region.route_round(self, round_index, trees, snapshot.usage)
-                )
-            if record:
+        # Interior pass: all regions route against the round-start snapshot,
+        # serially or on the region executor's process pool -- either way the
+        # deltas come back aligned with ``self.regions``.
+        deltas, region_reports = self.region_executor.route_round(
+            self, round_index, trees, snapshot
+        )
+        if record:
+            for region in self.regions:
                 collected.extend(
                     self._record_scope(region, round_costs)  # type: ignore[arg-type]
                 )
-        # Stitch: merge every region's usage delta onto the shared map.  The
-        # parity path produced full-graph deltas, the fast path region-local
-        # ones scattered through the region's edge map.
+        # Stitch: merge every region's usage delta onto the shared map, in
+        # fixed region order so the floating-point sums are identical across
+        # region backends.  The parity path produced full-graph deltas, the
+        # fast path region-local ones scattered through the region's edge
+        # map.
         for region, delta in zip(self.regions, deltas):
             if isinstance(region, _SubgraphScope):
                 self.congestion.usage[region.edge_to_global] += delta
@@ -488,17 +666,37 @@ class ShardCoordinator:
         collected.extend(self.seam_engine.route_round(round_index, trees, record=record))
         if self.parity:
             self.congestion.usage += self._seam_congestion.delta_since(snapshot)
-        self.round_reports.append(self._aggregate_report(round_index, started))
+        self.round_reports.append(
+            self._aggregate_report(round_index, started, region_reports)
+        )
         return collected
 
     def close(self) -> None:
-        """Release every sub-engine and the shared executor (idempotent)."""
-        for region in self.regions:
-            region.engine.close()  # type: ignore[attr-defined]
-        for scope in self.seam_scopes:
-            scope.engine.close()
-        self.seam_engine.close()
-        self.executor.close()
+        """Release every sub-engine, the region pool, and the shared
+        executor (idempotent).
+
+        Runs every release even when one raises -- a round that failed
+        mid-flight must not leak the remaining engines or either worker
+        pool -- and re-raises the first error afterwards.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        closers = [
+            region.engine.close for region in self.regions  # type: ignore[attr-defined]
+        ]
+        closers.extend(scope.engine.close for scope in self.seam_scopes)
+        closers.extend(
+            [self.seam_engine.close, self.region_executor.close, self.executor.close]
+        )
+        errors: List[BaseException] = []
+        for closer in closers:
+            try:
+                closer()
+            except BaseException as exc:  # release everything before raising
+                errors.append(exc)
+        if errors:
+            raise errors[0]
 
     def __enter__(self) -> "ShardCoordinator":
         return self
@@ -539,14 +737,21 @@ class ShardCoordinator:
             )
         return instances
 
-    def _aggregate_report(self, round_index: int, started: float) -> RoundReport:
+    def _aggregate_report(
+        self,
+        round_index: int,
+        started: float,
+        region_reports: Sequence[Tuple[int, int, int, int]],
+    ) -> RoundReport:
+        """Fold per-region executor counts and the in-process seam engines'
+        last rounds into one coordinator-level report."""
         report = RoundReport(round_index=round_index)
-        engines = (
-            [region.engine for region in self.regions]  # type: ignore[attr-defined]
-            + [scope.engine for scope in self.seam_scopes]
-            + [self.seam_engine]
-        )
-        for engine in engines:
+        for num_batches, nets_routed, nets_cached, nets_replayed in region_reports:
+            report.num_batches += num_batches
+            report.nets_routed += nets_routed
+            report.nets_cached += nets_cached
+            report.nets_replayed += nets_replayed
+        for engine in [scope.engine for scope in self.seam_scopes] + [self.seam_engine]:
             last = engine.round_reports[-1]
             report.num_batches += last.num_batches
             report.nets_routed += last.nets_routed
@@ -554,6 +759,21 @@ class ShardCoordinator:
             report.nets_replayed += last.nets_replayed
         report.walltime_seconds = time.perf_counter() - started
         return report
+
+    def region_worker_payload(self) -> Dict[str, object]:
+        """The read-only payload priming region-pool workers: the oracle,
+        the bifurcation model, congestion parameters, and each region's
+        static spec (subgraph or full-graph slice).  Shared objects -- the
+        full graph and netlist referenced by every parity region -- are
+        pickled once thanks to pickle's memo table."""
+        return {
+            "oracle": self.oracle,
+            "bifurcation": self.bifurcation,
+            "seed": self.seed,
+            "overflow_penalty": self.congestion.overflow_penalty,
+            "threshold": self.congestion.threshold,
+            "regions": {region.key: region.worker_spec() for region in self.regions},  # type: ignore[attr-defined]
+        }
 
 
 def _net_bounding_box(net: Net) -> Tuple[int, int, int, int]:

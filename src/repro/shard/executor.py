@@ -1,0 +1,396 @@
+"""Region executors: run the interior passes of one shard round.
+
+The :class:`~repro.shard.coordinator.ShardCoordinator` decomposes each
+rip-up-and-re-route round into K independent region subproblems that all
+read the *round-start* congestion snapshot and never see each other's
+in-round deltas.  That independence is what makes them trivially
+parallelisable: this module provides the pluggable execution backends that
+route all regions of one round and hand their usage deltas back to the
+coordinator, which stitches them onto the shared map **in fixed region
+order** -- so the floating-point sums, and therefore every downstream
+metric, are bit-identical across backends.
+
+* :class:`SerialRegionExecutor` routes the regions in-process, one after the
+  other -- the historical shard loop.
+* :class:`ProcessRegionExecutor` fans the regions out over a
+  ``multiprocessing`` pool, mirroring the worker-payload machinery of
+  :class:`repro.engine.executor.ProcessExecutor`: each worker is primed once
+  with a pickled read-only payload (per-region subgraphs, sub-netlists,
+  engine configs, the oracle and bifurcation model), and per round only the
+  small dynamic state travels -- start usage, gathered prices, and the
+  region's trees encoded as plain tuples.  Worker-side engines are
+  round-stateless (their re-route caches are disabled, see the coordinator),
+  so it does not matter which worker routes which region in which round.
+  When no pool can be started -- sandboxes routinely forbid ``fork`` or
+  semaphores -- the executor degrades to the serial path with a warning,
+  the same contract :class:`~repro.engine.executor.ProcessExecutor` honors:
+  degradation costs parallelism, never correctness.
+
+Use :func:`make_region_executor` to construct a backend from a worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tree import EmbeddedTree
+from repro.engine.engine import RoutingEngine
+from repro.engine.executor import create_worker_pool, validate_start_method
+from repro.grid.congestion import CongestionMap, CongestionSnapshot
+from repro.grid.graph import RoutingGraph
+
+if TYPE_CHECKING:  # circular at runtime: the coordinator imports this module
+    from repro.shard.coordinator import ShardCoordinator
+
+__all__ = [
+    "TreeRecord",
+    "RegionTask",
+    "RegionOutcome",
+    "RegionExecutor",
+    "SerialRegionExecutor",
+    "ProcessRegionExecutor",
+    "make_region_executor",
+    "encode_tree",
+    "decode_tree",
+]
+
+#: One embedded tree as plain picklable values: ``(root, sinks, edges,
+#: method)`` or ``None`` for an unrouted net.  Graph objects never travel
+#: with trees -- both sides reattach their own graph.
+TreeRecord = Optional[Tuple[int, Tuple[int, ...], Tuple[int, ...], str]]
+
+
+def encode_tree(tree: Optional[EmbeddedTree]) -> TreeRecord:
+    """``tree`` as a :data:`TreeRecord` (cheap to pickle, graph-free)."""
+    if tree is None:
+        return None
+    return (int(tree.root), tuple(tree.sinks), tuple(tree.edges), tree.method)
+
+
+def decode_tree(graph: RoutingGraph, record: TreeRecord) -> Optional[EmbeddedTree]:
+    """The exact inverse of :func:`encode_tree`, reattached to ``graph``."""
+    if record is None:
+        return None
+    root, sinks, edges, method = record
+    return EmbeddedTree(graph, root, tuple(sinks), tuple(edges), method)
+
+
+@dataclass(frozen=True)
+class RegionTask:
+    """The dynamic inputs of one region's round (cheap to pickle).
+
+    ``usage`` and ``edge_prices`` are region-local (gathered onto the
+    region's subgraph edges) for fast-path regions and full-graph vectors
+    for parity regions; ``weights`` and ``trees`` are aligned with the
+    region engine's net order (local indices for subgraph scopes, the
+    interior index list for parity regions).
+    """
+
+    key: str
+    round_index: int
+    usage: np.ndarray
+    edge_prices: np.ndarray
+    weights: Tuple[Tuple[float, ...], ...]
+    trees: Tuple[TreeRecord, ...]
+
+
+@dataclass(frozen=True)
+class RegionOutcome:
+    """One region's round result: routed trees, usage delta, report counts.
+
+    ``trees`` uses the same alignment as the task's; ``delta`` the same
+    edge indexing as the task's ``usage``.  ``report`` is
+    ``(num_batches, nets_routed, nets_cached, nets_replayed)``.
+    """
+
+    key: str
+    trees: Tuple[TreeRecord, ...]
+    delta: np.ndarray
+    report: Tuple[int, int, int, int]
+
+
+class _TaskPrices:
+    """The price view a worker-side engine reads: a gathered ``edge_prices``
+    vector plus per-net sink weights, both refreshed from each task."""
+
+    def __init__(self) -> None:
+        self.edge_prices: Optional[np.ndarray] = None
+        self._weights: Dict[int, Tuple[float, ...]] = {}
+
+    def load(self, edge_prices: np.ndarray, nets: Sequence[int],
+             weights: Sequence[Tuple[float, ...]]) -> None:
+        self.edge_prices = np.asarray(edge_prices, dtype=np.float64)
+        self._weights = dict(zip(nets, weights))
+
+    def weights_of(self, net_index: int) -> List[float]:
+        return list(self._weights[net_index])
+
+
+class _RegionRunner:
+    """Worker-side twin of one region: an engine rebuilt from its spec.
+
+    Runners are cached per worker process, but their engines are
+    round-stateless (no re-route cache, usage reset from every task), so a
+    region may be routed by different workers in different rounds without
+    changing a single bit of the result.
+    """
+
+    def __init__(self, spec: Dict[str, object], oracle, bifurcation, seed: int,
+                 overflow_penalty: float, threshold: float) -> None:
+        self.graph: RoutingGraph = spec["graph"]  # type: ignore[assignment]
+        self.netlist = spec["netlist"]
+        #: ``None`` for subgraph scopes (the engine routes the whole
+        #: sub-netlist); the global interior index list for parity regions.
+        self.interior: Optional[List[int]] = spec.get("interior")  # type: ignore[assignment]
+        self.congestion = CongestionMap(
+            self.graph, overflow_penalty=overflow_penalty, threshold=threshold
+        )
+        self.prices = _TaskPrices()
+        self.engine = RoutingEngine(
+            graph=self.graph,
+            netlist=self.netlist,  # type: ignore[arg-type]
+            oracle=oracle,
+            bifurcation=bifurcation,
+            congestion=self.congestion,
+            prices=self.prices,  # type: ignore[arg-type]
+            seed=seed,
+            cost_refresh_interval=int(spec["cost_refresh_interval"]),  # type: ignore[arg-type]
+            config=spec["config"],  # type: ignore[arg-type]
+            net_indices=self.interior,
+        )
+
+    def route(self, task: RegionTask) -> RegionOutcome:
+        start = np.asarray(task.usage, dtype=np.float64)
+        self.congestion.usage = start.copy()
+        engine_nets: Sequence[int] = (
+            self.interior if self.interior is not None else range(len(task.trees))
+        )
+        self.prices.load(task.edge_prices, engine_nets, task.weights)
+        if self.interior is None:
+            trees = [decode_tree(self.graph, record) for record in task.trees]
+            self.engine.route_round(task.round_index, trees)
+            routed = trees
+        else:
+            # Parity regions index the full netlist; nets outside the
+            # region's interior are never touched by its engine.
+            trees = [None] * self.netlist.num_nets  # type: ignore[union-attr]
+            for net_index, record in zip(self.interior, task.trees):
+                trees[net_index] = decode_tree(self.graph, record)
+            self.engine.route_round(task.round_index, trees)
+            routed = [trees[net_index] for net_index in self.interior]
+        last = self.engine.round_reports[-1]
+        return RegionOutcome(
+            key=task.key,
+            trees=tuple(encode_tree(tree) for tree in routed),
+            delta=self.congestion.usage - start,
+            report=(last.num_batches, last.nets_routed, last.nets_cached,
+                    last.nets_replayed),
+        )
+
+
+# --------------------------------------------------------------------------
+# Worker plumbing.  Module-level so children can locate the functions under
+# every multiprocessing start method (fork and spawn alike).
+# --------------------------------------------------------------------------
+
+_REGION_STATE: dict = {}
+_REGION_RUNNERS: Dict[str, _RegionRunner] = {}
+
+
+def _region_worker_init(payload_bytes: bytes) -> None:
+    """Pool initializer: unpack the shared read-only region payload."""
+    state = pickle.loads(payload_bytes)
+    _REGION_STATE.clear()
+    _REGION_STATE.update(state)
+    _REGION_RUNNERS.clear()
+
+
+def _route_region(task: RegionTask) -> RegionOutcome:
+    """Route one region's round inside a worker process."""
+    runner = _REGION_RUNNERS.get(task.key)
+    if runner is None:
+        runner = _RegionRunner(
+            _REGION_STATE["regions"][task.key],
+            _REGION_STATE["oracle"],
+            _REGION_STATE["bifurcation"],
+            _REGION_STATE["seed"],
+            _REGION_STATE["overflow_penalty"],
+            _REGION_STATE["threshold"],
+        )
+        _REGION_RUNNERS[task.key] = runner
+    return runner.route(task)
+
+
+class RegionExecutor:
+    """Common interface of the region execution backends."""
+
+    #: Backend name used in configuration and result reporting.
+    backend = "?"
+
+    def __init__(self) -> None:
+        self.closed = False
+
+    def route_round(
+        self,
+        coordinator: "ShardCoordinator",
+        round_index: int,
+        trees: List[Optional[EmbeddedTree]],
+        snapshot: CongestionSnapshot,
+    ) -> Tuple[List[np.ndarray], List[Tuple[int, int, int, int]]]:
+        """Route every interior region of one round against ``snapshot``.
+
+        Mutates ``trees`` in place and returns ``(deltas, reports)`` aligned
+        with ``coordinator.regions`` -- the coordinator stitches the deltas
+        in that fixed order, which is what keeps all backends bit-identical.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (worker pools).  Idempotent."""
+        self.closed = True
+
+    def __enter__(self) -> "RegionExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialRegionExecutor(RegionExecutor):
+    """Routes the regions in-process, one after the other (the classic loop)."""
+
+    backend = "serial"
+
+    def route_round(self, coordinator, round_index, trees, snapshot):
+        deltas: List[np.ndarray] = []
+        reports: List[Tuple[int, int, int, int]] = []
+        for region in coordinator.regions:
+            if coordinator.parity:
+                deltas.append(region.route_round(coordinator, round_index, trees, snapshot))
+            else:
+                deltas.append(
+                    region.route_round(coordinator, round_index, trees, snapshot.usage)
+                )
+            last = region.engine.round_reports[-1]
+            reports.append(
+                (last.num_batches, last.nets_routed, last.nets_cached, last.nets_replayed)
+            )
+        return deltas, reports
+
+
+class ProcessRegionExecutor(RegionExecutor):
+    """Routes the regions of each round on a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size; defaults to ``os.cpu_count()`` capped at 8.  The pool is
+        additionally capped at the region count -- extra workers could never
+        receive work.
+    start_method:
+        ``multiprocessing`` start method (``"fork"`` / ``"spawn"`` /
+        ``"forkserver"``).  ``None`` prefers ``fork`` (workers inherit
+        ``sys.path``) and falls back to the platform default.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers or min(os.cpu_count() or 2, 8)
+        # Validated eagerly: a pinned-but-mistyped start method must raise
+        # at construction, not silently degrade the run to the serial loop.
+        self.start_method = validate_start_method(start_method)
+        #: Whether a worker pool was ever started (stays ``True`` after
+        #: :meth:`close`; benchmarks read it to tell real pool runs from
+        #: degraded ones).
+        self.pool_used = False
+        self._pool = None
+        self._pool_unavailable = False
+        self._serial = SerialRegionExecutor()
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def pool_active(self) -> bool:
+        """Whether a live worker pool is routing the regions (``False``
+        after degradation to the serial path or :meth:`close`)."""
+        return self._pool is not None
+
+    def _ensure_pool(self, coordinator: "ShardCoordinator"):
+        """The worker pool, or ``None`` when this environment cannot start
+        one (the degradation is remembered and warned about only once)."""
+        if self._pool is None and not self._pool_unavailable:
+            # Prefer fork (create_worker_pool's default): workers inherit
+            # sys.path, which the repo's src/ layout relies on.
+            payload = pickle.dumps(
+                coordinator.region_worker_payload(),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._pool = create_worker_pool(
+                min(self.num_workers, max(1, len(coordinator.regions))),
+                start_method=self.start_method,
+                initializer=_region_worker_init,
+                initargs=(payload,),
+                degrade_message=(
+                    "region-parallel shard execution degrades to the serial "
+                    "region loop"
+                ),
+            )
+            if self._pool is None:
+                self._pool_unavailable = True
+            else:
+                self.pool_used = True
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        super().close()
+
+    # ------------------------------------------------------------------ API
+    def route_round(self, coordinator, round_index, trees, snapshot):
+        if len(coordinator.regions) <= 1:
+            # One region cannot be overlapped with anything; skip the IPC.
+            return self._serial.route_round(coordinator, round_index, trees, snapshot)
+        pool = self._ensure_pool(coordinator)
+        if pool is None:
+            # Degraded mode: no pool could be started in this environment.
+            return self._serial.route_round(coordinator, round_index, trees, snapshot)
+        tasks = [
+            region.make_task(coordinator, round_index, trees, snapshot)
+            for region in coordinator.regions
+        ]
+        outcomes = pool.map(_route_region, tasks)
+        deltas: List[np.ndarray] = []
+        reports: List[Tuple[int, int, int, int]] = []
+        # Apply in fixed region order regardless of worker completion order.
+        for region, outcome in zip(coordinator.regions, outcomes):
+            deltas.append(region.apply_outcome(coordinator, trees, outcome))
+            reports.append(outcome.report)
+        return deltas, reports
+
+
+def make_region_executor(
+    workers: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> RegionExecutor:
+    """Construct the region backend for a worker count: ``None``/``1`` is
+    the in-process serial loop, anything larger a process pool."""
+    if workers is not None and workers < 1:
+        raise ValueError("shard workers must be positive")
+    if workers is None or workers == 1:
+        return SerialRegionExecutor()
+    return ProcessRegionExecutor(num_workers=workers, start_method=start_method)

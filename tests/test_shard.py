@@ -12,23 +12,13 @@ from repro.engine.rng import (
 from repro.grid.geometry import GridPoint
 from repro.grid.graph import build_grid_graph
 from repro.instances.chips import CHIP_SUITE, build_chip
-from repro.router.metrics import RoutingResult
+from repro.router.metrics import PARITY_FIELDS, RoutingResult
 from repro.router.netlist import Net, Netlist, Pin
 from repro.router.router import GlobalRouter, GlobalRouterConfig
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import ServeDaemon
 from repro.serve.session import RoutingSession
 from repro.shard.coordinator import ShardCoordinator
-
-PARITY_FIELDS = (
-    "worst_slack",
-    "total_negative_slack",
-    "ace4",
-    "wire_length",
-    "via_count",
-    "overflow",
-    "objective",
-)
 
 
 def smoke_design(scale=0.5):
@@ -259,6 +249,72 @@ class TestServeShardJobs:
             child_wl += child_result.wire_length
         # The merged wire length covers the children plus the seam pass.
         assert child_wl <= merged.wire_length
+
+    def test_shard_job_on_worker_pool_matches_thread_path(self, daemon):
+        """--shard-workers 2 routes the children on a process pool; the
+        merged result is bit-identical to the dedicated-thread fan-out
+        (children are pure functions of their params)."""
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        threaded_id = client.submit_shard(chip="c1", net_scale=0.4, rounds=2, shards=4)
+        pooled_id = client.submit_shard(
+            chip="c1", net_scale=0.4, rounds=2, shards=4, shard_workers=2
+        )
+        threaded = client.wait(threaded_id, timeout=300)
+        pooled = client.wait(pooled_id, timeout=300)
+        assert threaded["status"] == "done", threaded
+        assert pooled["status"] == "done", pooled
+        assert threaded["result"]["region_backend"] == "threads"
+        assert pooled["result"]["shard_workers"] == 2
+        # In sandboxes that forbid process pools the job degrades to the
+        # thread path; either way the merged metrics must be identical.
+        assert pooled["result"]["region_backend"] in ("process", "threads")
+        a = RoutingResult.from_dict(threaded["result"]["result"])
+        b = RoutingResult.from_dict(pooled["result"]["result"])
+        for field in PARITY_FIELDS:
+            assert getattr(a, field) == getattr(b, field), field
+        for child_id in pooled["result"]["subjobs"]:
+            child = client.result(child_id)
+            assert child["status"] == "done"
+            assert child["params"]["parent"] == pooled_id
+
+    def test_shard_job_pool_with_process_backend_degrades_nested_pools(self, daemon):
+        """backend=process children inside the region pool cannot start
+        their own engine pools (daemonic workers); they must degrade to
+        serial engines and the job must still finish."""
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        job_id = client.submit_shard(
+            chip="c1", net_scale=0.3, rounds=1, shards=4,
+            shard_workers=2, backend="process",
+        )
+        record = client.wait(job_id, timeout=300)
+        assert record["status"] == "done", record
+        merged = RoutingResult.from_dict(record["result"]["result"])
+        assert merged.wire_length > 0
+
+    def test_shard_job_pool_child_failures_attributed_per_child(self, daemon):
+        """A failing child on the pool path records its *own* error while a
+        succeeding sibling keeps its real result, like on the thread path."""
+        import threading
+
+        base = {"chip": "c1", "net_scale": 0.3, "rounds": 1, "shards": 2,
+                "emit_usage": True}
+        good = daemon.store.submit("route", {**base, "shard_index": 0})
+        bad = daemon.store.submit("route", {**base, "shard_index": 99})
+        children = [good.job_id, bad.job_id]
+        for child_id in children:
+            daemon._cancel_flags[child_id] = threading.Event()
+        with pytest.raises(RuntimeError, match="region pool"):
+            daemon._run_children_on_pool(
+                children, [good.params, bad.params], threading.Event(), 2
+            )
+        assert daemon.store.get(good.job_id).status == "done"
+        failed = daemon.store.get(bad.job_id)
+        assert failed.status == "failed"
+        assert "IndexError" in (failed.error or "")
 
     def test_shard_job_rejects_sessions_and_k1(self, daemon):
         host, port = daemon.address

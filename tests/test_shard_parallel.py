@@ -1,0 +1,352 @@
+"""Determinism/parity battery for region-parallel shard execution.
+
+The shard layer's region-parallel backend (``GlobalRouterConfig.shard_workers
+> 1``) promises *bit-exact* equality with the serial shard path -- and, in
+``shard_parity`` mode, with the unsharded router.  This battery pins that
+contract:
+
+* randomized sweeps over small random chips x K in {1, 2, 4} x workers in
+  {1, 2}, asserting routed metrics and per-net trees are identical across
+  serial-shard, parallel-shard, and (parity mode) unsharded runs,
+* both ``fork`` and ``spawn`` start methods where the platform offers them,
+* graceful degradation to the serial loop when no pool can be started,
+* pool/engine teardown when a round raises mid-flight, and
+* checkpoint/resume across *different* ``shard_workers`` values.
+
+The randomized sweep runs a bounded subset by default (one seed, ``fork``
+only; the ``slow`` marker labels it for ``-m "not slow"`` deselection) and is
+widened by ``REPRO_TEST_SWEEP=1`` (more seeds, every start method) for
+nightly-style runs; the wide combinations carry the ``slow`` marker.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.cost_distance import CostDistanceSolver
+from repro.grid.graph import build_grid_graph
+from repro.instances.chips import CHIP_SUITE, build_chip
+from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
+from repro.router.metrics import PARITY_FIELDS
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.checkpoint import resume_router, save_checkpoint
+from repro.shard.coordinator import ShardCoordinator
+from repro.shard.executor import (
+    ProcessRegionExecutor,
+    SerialRegionExecutor,
+    make_region_executor,
+)
+
+#: Wide-sweep opt-in (nightly-style): more seeds, every start method.
+SWEEP = os.environ.get("REPRO_TEST_SWEEP") == "1"
+SWEEP_SEEDS = (101, 202, 303) if SWEEP else (101,)
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+SWEEP_START_METHODS = START_METHODS if SWEEP else START_METHODS[:1]
+
+
+def random_design(seed, num_nets=20, nx=12, ny=12, layers=4):
+    """A small random chip: the sweep's workload class."""
+    graph = build_grid_graph(nx, ny, layers)
+    netlist = generate_netlist(
+        graph,
+        NetlistGeneratorConfig(num_nets=num_nets),
+        seed=seed,
+        name=f"rand{seed}",
+    )
+    return graph, netlist
+
+
+def run_router(graph, netlist, **config):
+    router = GlobalRouter(
+        graph, netlist, CostDistanceSolver(), GlobalRouterConfig(**config)
+    )
+    return router, router.run()
+
+
+def tree_key(trees):
+    return [
+        None if t is None else (t.root, tuple(t.sinks), tuple(t.edges))
+        for t in trees
+    ]
+
+
+def assert_bit_identical(router_a, result_a, router_b, result_b):
+    for field in PARITY_FIELDS:
+        assert getattr(result_a, field) == getattr(result_b, field), field
+    assert tree_key(router_a.trees) == tree_key(router_b.trees)
+
+
+class TestDeterminismBattery:
+    """Seeded randomized sweep: serial-shard == parallel-shard (== unsharded
+    in parity mode), for every K x workers x start-method combination."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("start_method", SWEEP_START_METHODS)
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_parallel_matches_serial_shards(self, seed, shards, workers, start_method):
+        graph, netlist = random_design(seed)
+        serial_router, serial = run_router(
+            graph, netlist, num_rounds=2, shards=shards
+        )
+        parallel_router, parallel = run_router(
+            graph,
+            netlist,
+            num_rounds=2,
+            shards=shards,
+            shard_workers=workers,
+            shard_start_method=start_method,
+        )
+        assert_bit_identical(serial_router, serial, parallel_router, parallel)
+        if shards > 1 and workers > 1:
+            executor = parallel_router.engine.region_executor
+            assert isinstance(executor, ProcessRegionExecutor)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("start_method", SWEEP_START_METHODS)
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("shards", [2, 4])
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_parity_mode_matches_unsharded(self, seed, shards, workers, start_method):
+        """In shard_parity mode (full-round cost window) every worker count
+        reproduces the *unsharded* router bit for bit."""
+        graph, netlist = random_design(seed)
+        plain_router, plain = run_router(
+            graph, netlist, num_rounds=2, cost_refresh_interval=10**9
+        )
+        shard_router, sharded = run_router(
+            graph,
+            netlist,
+            num_rounds=2,
+            cost_refresh_interval=10**9,
+            shards=shards,
+            shard_parity=True,
+            shard_workers=workers,
+            shard_start_method=start_method,
+        )
+        assert_bit_identical(plain_router, plain, shard_router, sharded)
+
+    def test_suite_chip_parallel_matches_serial(self):
+        """The battery's fixed-chip anchor: c1 at K=4, fork, 2 workers."""
+        graph, netlist = build_chip(CHIP_SUITE[0].scaled(0.5))
+        serial_router, serial = run_router(graph, netlist, num_rounds=3, shards=4)
+        parallel_router, parallel = run_router(
+            graph, netlist, num_rounds=3, shards=4, shard_workers=2
+        )
+        assert_bit_identical(serial_router, serial, parallel_router, parallel)
+
+    @pytest.mark.skipif("spawn" not in START_METHODS, reason="no spawn on platform")
+    def test_spawn_start_method_matches_serial(self):
+        """Spawn workers re-import the package from a clean interpreter;
+        name-keyed RNG streams keep the trees identical anyway."""
+        graph, netlist = random_design(7, num_nets=14, nx=10, ny=10)
+        serial_router, serial = run_router(graph, netlist, num_rounds=2, shards=2)
+        spawn_router, spawned = run_router(
+            graph,
+            netlist,
+            num_rounds=2,
+            shards=2,
+            shard_workers=2,
+            shard_start_method="spawn",
+        )
+        assert_bit_identical(serial_router, serial, spawn_router, spawned)
+
+
+class TestDegradation:
+    def test_degrades_to_serial_loop_when_pool_unavailable(self, monkeypatch):
+        """No multiprocessing -> warn once, route serially, same bits."""
+        graph, netlist = random_design(11, num_nets=16)
+        serial_router, serial = run_router(graph, netlist, num_rounds=2, shards=4)
+
+        def broken_get_context(*args, **kwargs):
+            raise OSError("no process pools in this sandbox")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken_get_context)
+        with pytest.warns(RuntimeWarning, match="degrades to the serial region loop"):
+            degraded_router, degraded = run_router(
+                graph, netlist, num_rounds=2, shards=4, shard_workers=2
+            )
+        executor = degraded_router.engine.region_executor
+        assert isinstance(executor, ProcessRegionExecutor)
+        assert not executor.pool_used
+        assert not executor.pool_active
+        assert_bit_identical(serial_router, serial, degraded_router, degraded)
+
+    def test_workers_ignored_without_sharding(self):
+        """shard_workers is a shard-layer knob; the K=1 flow stays the
+        plain single-region engine."""
+        graph, netlist = random_design(12, num_nets=14)
+        plain_router, plain = run_router(graph, netlist, num_rounds=2)
+        one_router, one = run_router(graph, netlist, num_rounds=2, shard_workers=2)
+        assert not isinstance(one_router.engine, ShardCoordinator)
+        assert_bit_identical(plain_router, plain, one_router, one)
+
+    def test_make_region_executor_selects_backend(self):
+        assert isinstance(make_region_executor(None), SerialRegionExecutor)
+        assert isinstance(make_region_executor(1), SerialRegionExecutor)
+        assert isinstance(make_region_executor(3), ProcessRegionExecutor)
+        with pytest.raises(ValueError, match="positive"):
+            make_region_executor(0)
+        with pytest.raises(ValueError, match="shard_workers"):
+            GlobalRouterConfig(shard_workers=0)
+
+    def test_invalid_start_method_raises_instead_of_degrading(self):
+        """A pinned-but-mistyped start method is an explicit request gone
+        wrong; it must fail at construction, not silently route serially."""
+        with pytest.raises(ValueError, match="start method"):
+            make_region_executor(2, start_method="frok")
+        graph, netlist = random_design(14, num_nets=12)
+        with pytest.raises(ValueError, match="start method"):
+            GlobalRouter(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(
+                    num_rounds=1, shards=2, shard_workers=2,
+                    shard_start_method="frok",
+                ),
+            )
+
+
+class TestScopeCaches:
+    """The re-route cache of region scope engines follows the region
+    backend: alive under the serial loop (PR-3 behavior), disabled under
+    the pool (workers must be round-stateless)."""
+
+    def test_serial_regions_keep_reroute_cache(self):
+        from repro.engine.engine import EngineConfig
+
+        graph, netlist = random_design(15, num_nets=16)
+        nocache_router, nocache = run_router(graph, netlist, num_rounds=3, shards=4)
+        cached_router, cached = run_router(
+            graph, netlist, num_rounds=3, shards=4,
+            engine=EngineConfig(reroute_cache=True, cache_scope="global"),
+        )
+        assert all(
+            region.engine.cache is not None
+            for region in cached_router.engine.regions
+        )
+        # The cache is a pure memoization: results match running without it.
+        assert_bit_identical(nocache_router, nocache, cached_router, cached)
+
+    def test_parallel_regions_run_cache_free(self):
+        from repro.engine.engine import EngineConfig
+
+        graph, netlist = random_design(15, num_nets=16)
+        router = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(
+                num_rounds=1, shards=4, shard_workers=2,
+                engine=EngineConfig(reroute_cache=True, cache_scope="global"),
+            ),
+        )
+        try:
+            assert router.engine.parallel_regions
+            assert all(
+                region.engine.cache is None for region in router.engine.regions
+            )
+            # Seam scopes never enter the pool, so they keep the cache.
+            assert router.engine.seam_scopes, "design should have seam scopes"
+            assert all(
+                scope.engine.cache is not None
+                for scope in router.engine.seam_scopes
+            )
+        finally:
+            router.engine.close()
+
+
+class TestTeardown:
+    """ShardCoordinator.close() must release every engine and both pools
+    even when a round raises mid-flight."""
+
+    def _failing_router(self, **config):
+        graph, netlist = random_design(13, num_nets=16)
+        router = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=2, shards=4, **config),
+        )
+        return router
+
+    def test_close_releases_engines_when_a_region_fails(self):
+        router = self._failing_router()
+        coordinator = router.engine
+        region = coordinator.regions[0]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected region failure")
+
+        region.engine.route_round = explode
+        with pytest.raises(RuntimeError, match="injected region failure"):
+            router.run()
+        assert coordinator._closed
+        assert coordinator.executor.closed
+        assert coordinator.region_executor.closed
+
+    def test_close_releases_pool_when_a_round_fails_mid_flight(self):
+        router = self._failing_router(shard_workers=2)
+        coordinator = router.engine
+
+        original = coordinator.seam_engine.route_round
+        calls = {"n": 0}
+
+        def explode_after_interior(*args, **kwargs):
+            # The interior pass already ran on the pool when the seam engine
+            # is reached, so the pool is live at failure time.
+            calls["n"] += 1
+            raise RuntimeError("injected seam failure")
+
+        coordinator.seam_engine.route_round = explode_after_interior
+        assert isinstance(coordinator.region_executor, ProcessRegionExecutor)
+        with pytest.raises(RuntimeError, match="injected seam failure"):
+            router.run()
+        assert calls["n"] == 1
+        assert original is not None
+        assert coordinator._closed
+        assert coordinator.region_executor.closed
+        assert coordinator.region_executor.pool_used  # live when the round failed
+        assert not coordinator.region_executor.pool_active  # ...and released
+        assert coordinator.executor.closed
+
+    def test_close_is_idempotent(self):
+        router = self._failing_router(shard_workers=2)
+        router.run()
+        router.engine.close()
+        router.engine.close()
+        assert router.engine.region_executor.closed
+
+
+class TestCheckpointAcrossWorkerCounts:
+    def test_resume_with_different_shard_workers(self, tmp_path):
+        """A checkpoint taken under shard_workers=2 resumes under the
+        serial region loop (and vice versa) with bit-identical results --
+        the region backend, like the engine backend, is not part of the
+        resume fingerprint."""
+        graph, netlist = build_chip(CHIP_SUITE[0].scaled(0.4))
+        straight_router, straight = run_router(
+            graph, netlist, num_rounds=3, shards=4
+        )
+
+        for ckpt_workers, resume_workers in ((2, None), (None, 2)):
+            path = str(tmp_path / f"w{ckpt_workers}-{resume_workers}.ckpt")
+
+            def hook(router, round_index, _path=path):
+                if round_index == 1:
+                    save_checkpoint(router, _path)
+
+            first = GlobalRouter(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(num_rounds=3, shards=4, shard_workers=ckpt_workers),
+            )
+            first.run(on_round_end=hook)
+            resumed = GlobalRouter(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(num_rounds=3, shards=4, shard_workers=resume_workers),
+            )
+            assert resume_router(resumed, path)
+            assert resumed.rounds_completed == 2
+            result = resumed.run()
+            for field in PARITY_FIELDS:
+                assert getattr(result, field) == getattr(straight, field), field
+            assert tree_key(resumed.trees) == tree_key(straight_router.trees)
