@@ -1,17 +1,23 @@
-"""Serve-layer throughput: daemon jobs/sec and ECO-vs-cold speedup.
+"""Serve-layer throughput: daemon jobs/sec and ECO-vs-cold speedups.
 
-Two measurements on the smoke chip (``c1``), recorded under
+Three measurements on the smoke chip (``c1``), recorded under
 ``benchmarks/results/serve_throughput.txt``:
 
 * **daemon throughput** -- a batch of small route jobs is pushed through a
   :class:`repro.serve.daemon.ServeDaemon` worker pool and the sustained
   jobs/sec is reported (walltimes are machine-dependent, so no regression
-  gate), and
+  gate),
 * **ECO incrementality** -- one pin of a routed session is moved and the
   incremental re-route is timed against a cold full re-route of the edited
-  netlist.  What *is* asserted is the serve determinism contract: the ECO
-  result must equal the cold result bit for bit while touching only a
-  subset of the nets (the dirty closure).
+  netlist, and
+* **sharded ECO incrementality** -- the same delta against a *sharded*
+  session (``shards=2``): the replay memos travel through the shard
+  coordinator, so clean regions replay without oracle calls and the
+  incremental re-route is timed against a cold *sharded* re-route.
+
+What *is* asserted is the serve determinism contract: each ECO result must
+equal its cold counterpart bit for bit while touching only a subset of the
+nets (the dirty closure).
 """
 
 import time
@@ -22,6 +28,7 @@ from repro.core.cost_distance import CostDistanceSolver
 from repro.grid.geometry import GridPoint
 from repro.instances.chips import build_chip, smoke_chip
 from repro.instances.eco import MovePin
+from repro.router.metrics import PARITY_FIELDS
 from repro.router.router import GlobalRouter, GlobalRouterConfig
 from repro.serve.client import ServeClient
 from repro.serve.daemon import ServeDaemon
@@ -32,16 +39,8 @@ from benchmarks.conftest import bench_scale, write_result
 #: Route jobs pushed through the daemon for the throughput figure.
 NUM_JOBS = 4
 ROUNDS = 3
-
-PARITY_FIELDS = (
-    "worst_slack",
-    "total_negative_slack",
-    "ace4",
-    "wire_length",
-    "via_count",
-    "overflow",
-    "objective",
-)
+#: Regions of the sharded session measurement.
+SHARDS = 2
 
 
 def daemon_throughput():
@@ -63,8 +62,13 @@ def daemon_throughput():
     return NUM_JOBS / elapsed, elapsed
 
 
-def eco_vs_cold():
-    """Move one pin of a routed session; time ECO vs. cold re-route."""
+def eco_vs_cold(shards=1):
+    """Move one pin of a routed session; time ECO vs. cold re-route.
+
+    ``shards > 1`` measures the sharded session path: the replay memos run
+    through the shard coordinator and the cold reference is a cold *sharded*
+    re-route of the edited netlist under the same configuration.
+    """
     spec = smoke_chip(bench_scale())
     graph, netlist = build_chip(spec)
     # A legal in-grid move of the first sink of the first net.
@@ -73,7 +77,7 @@ def eco_vs_cold():
     new_x = (sink.position.x + 1) % graph.nx
     op = MovePin(target.name, sink.name, new_x, sink.position.y, sink.position.layer)
 
-    config = GlobalRouterConfig(num_rounds=ROUNDS)
+    config = GlobalRouterConfig(num_rounds=ROUNDS, shards=shards)
     session = RoutingSession(graph, netlist, CostDistanceSolver(), config)
     session.route()
     started = time.perf_counter()
@@ -100,12 +104,19 @@ def eco_vs_cold():
 @pytest.mark.benchmark(group="serve_throughput")
 def test_serve_throughput(benchmark):
     def run_all():
-        return daemon_throughput(), eco_vs_cold()
+        return daemon_throughput(), eco_vs_cold(), eco_vs_cold(shards=SHARDS)
 
-    (jobs_per_sec, batch_seconds), (report, eco_seconds, cold_seconds) = (
-        benchmark.pedantic(run_all, rounds=1, iterations=1)
-    )
+    (
+        (jobs_per_sec, batch_seconds),
+        (report, eco_seconds, cold_seconds),
+        (shard_report, shard_eco_seconds, shard_cold_seconds),
+    ) = benchmark.pedantic(run_all, rounds=1, iterations=1)
     speedup = cold_seconds / eco_seconds if eco_seconds > 0 else float("inf")
+    shard_speedup = (
+        shard_cold_seconds / shard_eco_seconds
+        if shard_eco_seconds > 0
+        else float("inf")
+    )
 
     lines = [
         f"Serve throughput on c1 (net scale {bench_scale()}, seed 0)",
@@ -117,6 +128,12 @@ def test_serve_throughput(benchmark):
         f"({100.0 * report.nets_reused / (report.nets_reused + report.nets_rerouted):.1f}% amortised)",
         f"ECO walltime {eco_seconds:.3f}s vs cold re-route {cold_seconds:.3f}s "
         f"-> speedup {speedup:.2f}x (metrics bit-identical)",
+        f"sharded ECO (K={SHARDS}, {ROUNDS} rounds): re-routed "
+        f"{shard_report.nets_rerouted} net-rounds, reused {shard_report.nets_reused} "
+        f"({100.0 * shard_report.nets_reused / (shard_report.nets_reused + shard_report.nets_rerouted):.1f}% amortised)",
+        f"sharded ECO walltime {shard_eco_seconds:.3f}s vs cold sharded "
+        f"re-route {shard_cold_seconds:.3f}s -> speedup {shard_speedup:.2f}x "
+        f"(metrics bit-identical)",
     ]
     benchmark.extra_info["jobs_per_sec"] = round(jobs_per_sec, 3)
     benchmark.extra_info["eco_seconds"] = round(eco_seconds, 4)
@@ -124,4 +141,9 @@ def test_serve_throughput(benchmark):
     benchmark.extra_info["eco_speedup"] = round(speedup, 3)
     benchmark.extra_info["nets_rerouted"] = report.nets_rerouted
     benchmark.extra_info["nets_reused"] = report.nets_reused
+    benchmark.extra_info["shard_eco_seconds"] = round(shard_eco_seconds, 4)
+    benchmark.extra_info["shard_cold_seconds"] = round(shard_cold_seconds, 4)
+    benchmark.extra_info["shard_eco_speedup"] = round(shard_speedup, 3)
+    benchmark.extra_info["shard_nets_rerouted"] = shard_report.nets_rerouted
+    benchmark.extra_info["shard_nets_reused"] = shard_report.nets_reused
     write_result("serve_throughput", "\n".join(lines))

@@ -186,11 +186,73 @@ def scenario_shard_scaling() -> List[Dict[str, object]]:
     ]
 
 
+def scenario_session_eco() -> List[Dict[str, object]]:
+    """Sharded-ECO-replay vs cold-sharded re-route on the smoke chip.
+
+    The session replays its memo log through the shard coordinator, so the
+    incremental walltime should beat the cold sharded re-route while the
+    metrics stay bit-identical (asserted here; the replay's tracked metrics
+    are recorded so any drift also trips the CI gate).  Walltimes and the
+    speedup are informational -- machines differ.
+    """
+    from repro.core.cost_distance import CostDistanceSolver
+    from repro.instances.chips import build_chip, smoke_chip
+    from repro.instances.eco import MovePin
+    from repro.router.metrics import PARITY_FIELDS
+    from repro.router.router import GlobalRouter, GlobalRouterConfig
+    from repro.serve.session import RoutingSession
+
+    shards = 2
+    graph, netlist = build_chip(smoke_chip(bench_scale()))
+    target = netlist.nets[0]
+    sink = target.sinks[0]
+    op = MovePin(
+        target.name, sink.name,
+        (sink.position.x + 1) % graph.nx, sink.position.y, sink.position.layer,
+    )
+    config = GlobalRouterConfig(num_rounds=3, shards=shards)
+    session = RoutingSession(graph, netlist, CostDistanceSolver(), config)
+    session.route()
+    started = time.perf_counter()
+    report = session.apply_eco([op])
+    eco_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cold = GlobalRouter(graph, session.netlist, CostDistanceSolver(), session.config)
+    cold_result = cold.run()
+    cold_seconds = time.perf_counter() - started
+    for field in PARITY_FIELDS:
+        if getattr(report.result, field) != getattr(cold_result, field):
+            raise RuntimeError(
+                f"sharded ECO replay diverged from the cold sharded "
+                f"re-route on {field}"
+            )
+    total = 3 * session.num_nets
+    return [
+        {
+            "name": "session_eco_sharded",
+            "metrics": {
+                "shards": shards,
+                "eco_walltime_seconds": round(eco_seconds, 4),
+                "cold_walltime_seconds": round(cold_seconds, 4),
+                "eco_speedup": round(
+                    cold_seconds / eco_seconds if eco_seconds > 0 else float("inf"), 3
+                ),
+                "nets_rerouted": report.nets_rerouted,
+                "nets_reused": report.nets_reused,
+                "reuse_fraction": round(report.nets_reused / total, 4),
+            },
+            "tracked": _result_metrics(report.result),
+        }
+    ]
+
+
 def run_trajectory() -> Dict[str, object]:
     records: List[Dict[str, object]] = []
     records.extend(scenario_engine_modes())
     records.extend(scenario_serve_throughput())
     records.extend(scenario_shard_scaling())
+    records.extend(scenario_session_eco())
     return {
         "schema": SCHEMA_VERSION,
         "bench_scale": bench_scale(),

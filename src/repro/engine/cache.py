@@ -57,6 +57,15 @@ class RoundMemo:
     oracle call.  This is how :class:`repro.serve.session.RoutingSession`
     turns an ECO delta into an incremental re-route whose outcome is
     bit-identical to a cold run of the edited netlist.
+
+    Sharded flows carry one memo per *round* too, but each scope of the
+    round (region interiors, seam super-region scopes, the global seam
+    engine) computes its lookup signatures against its own (sub)graph, so
+    the bytes are only comparable between identical scopes.  The shard
+    coordinator localises the global memo per scope before replaying and
+    merges the per-scope log signatures back in fixed region order; a net
+    whose scope changed across an ECO simply misses its memo and is
+    re-routed -- conservative, never wrong.
     """
 
     signatures: Dict[int, bytes] = field(default_factory=dict)

@@ -166,20 +166,7 @@ class RoutingEngine:
         )
         self.cache: Optional[RerouteCache] = None
         if self.config.reroute_cache:
-            scope = self.config.cache_scope
-            landmarks = getattr(getattr(oracle, "config", None), "num_landmarks", 0)
-            if scope == "bbox" and (not oracle.region_cache_safe or landmarks):
-                # The region digest only sees costs near the net; oracles
-                # that consult the full cost vector (global shortest-path
-                # embeddings, landmark/ALT lower bounds) can change their
-                # tree on a remote cost change the digest misses, so fall
-                # back to exact full-vector signatures.
-                scope = "global"
-            self.cache = RerouteCache(
-                graph,
-                [self.scheduler.net_box(i) for i in range(netlist.num_nets)],
-                scope=scope,
-            )
+            self.cache = self._make_cache()
         # The batch structure depends only on static inputs (netlist, boxes,
         # policy), so it is computed once and reused every round -- the bbox
         # policy's greedy colouring is quadratic in the net count.
@@ -192,6 +179,20 @@ class RoutingEngine:
         self.round_reports: List[RoundReport] = []
 
     # ------------------------------------------------------------------ API
+    def ensure_cache(self) -> RerouteCache:
+        """The engine's re-route cache, built on demand when absent.
+
+        Replay/memo rounds need a cache for their signature computation even
+        on engines configured cache-free -- the shard layer's pooled region
+        engines, whose caches must stay round-stateless.  Such callers build
+        the cache lazily with this method (idempotent) and invalidate it per
+        round, which keeps the signature machinery without reintroducing
+        inter-round cache state.
+        """
+        if self.cache is None:
+            self.cache = self._make_cache()
+        return self.cache
+
     def route_round(
         self,
         round_index: int,
@@ -332,6 +333,22 @@ class RoutingEngine:
         self.close()
 
     # ------------------------------------------------------------ internals
+    def _make_cache(self) -> RerouteCache:
+        scope = self.config.cache_scope
+        landmarks = getattr(getattr(self.oracle, "config", None), "num_landmarks", 0)
+        if scope == "bbox" and (not self.oracle.region_cache_safe or landmarks):
+            # The region digest only sees costs near the net; oracles
+            # that consult the full cost vector (global shortest-path
+            # embeddings, landmark/ALT lower bounds) can change their
+            # tree on a remote cost change the digest misses, so fall
+            # back to exact full-vector signatures.
+            scope = "global"
+        return RerouteCache(
+            self.graph,
+            [self.scheduler.net_box(i) for i in range(self.netlist.num_nets)],
+            scope=scope,
+        )
+
     def _make_task(self, net_index: int) -> NetTask:
         root, sinks = self.netlist.net_terminals(self.graph, net_index)
         net_name = self.netlist.nets[net_index].name

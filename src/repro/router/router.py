@@ -80,7 +80,9 @@ class GlobalRouterConfig:
         routing.  ``1`` (default) keeps the classic single-region flow;
         ``K > 1`` routes region-interior nets through K independent
         per-region engines and seam-crossing nets in a global stitch pass
-        (see :mod:`repro.shard.coordinator`).
+        (see :mod:`repro.shard.coordinator`).  Replay memo logs (ECO
+        sessions) are carried through the coordinator, so
+        :class:`repro.serve.session.RoutingSession` works at any ``K``.
     shard_parity:
         Verification mode of the shard layer: interior nets are routed on
         the full graph and all nets of a round see the round-start
@@ -308,6 +310,14 @@ class GlobalRouter:
         cache_signatures: Optional[Dict[int, bytes]] = None
         if self.engine.cache is not None:
             cache_signatures = self.engine.cache.export_signatures()
+        region_cache_signatures: Optional[Dict[str, object]] = None
+        if hasattr(self.engine, "export_cache_signatures"):
+            # Sharded flows keep their re-route signatures inside the scope
+            # engines (regions, seam scopes, the global seam engine); the
+            # coordinator exports them as name-keyed per-scope sections so a
+            # resume -- even under a different decomposition -- can
+            # redistribute them.
+            region_cache_signatures = self.engine.export_cache_signatures()
         return {
             "rounds_completed": self.rounds_completed,
             "trees": trees,
@@ -315,6 +325,7 @@ class GlobalRouter:
             "edge_prices": self.prices.edge_prices.copy(),
             "delay_weights": [list(w) for w in self.prices.delay_weights],
             "cache_signatures": cache_signatures,
+            "region_cache_signatures": region_cache_signatures,
         }
 
     def import_state(self, state: Dict[str, object]) -> None:
@@ -352,10 +363,57 @@ class GlobalRouter:
         self.prices.edge_prices = edge_prices.copy()
         self.prices.delay_weights = delay_weights
         self.rounds_completed = int(state["rounds_completed"])  # type: ignore[arg-type]
-        signatures = state.get("cache_signatures")
-        if signatures is not None and self.engine.cache is not None:
-            self.engine.cache.load_signatures(signatures)  # type: ignore[arg-type]
+        self._restore_cache_signatures(
+            state.get("cache_signatures"),  # type: ignore[arg-type]
+            state.get("region_cache_signatures"),  # type: ignore[arg-type]
+        )
         self.timing_report = None
+
+    def _restore_cache_signatures(
+        self,
+        signatures: Optional[Dict[int, bytes]],
+        region_sections: Optional[Dict[str, object]],
+    ) -> None:
+        """Install checkpointed re-route signatures into whichever engine
+        this router runs -- including across decompositions.
+
+        A flat (unsharded) signature map restores directly into a
+        single-region engine and is redistributed by net name through a
+        shard coordinator; per-region sections restore scope-exact into a
+        matching coordinator, by-name into a different layout, and flatten
+        back into a single-region engine.  A stale signature can only cause
+        a cache miss (the lookup compares digests), so every combination is
+        sound; parity-regime layouts restore exactly.
+        """
+        if hasattr(self.engine, "load_cache_signatures"):
+            if region_sections:
+                self.engine.load_cache_signatures(region_sections)
+            elif signatures:
+                by_name = {
+                    self.netlist.nets[net_index].name: signature
+                    for net_index, signature in signatures.items()
+                    if 0 <= net_index < self.netlist.num_nets
+                }
+                self.engine.load_cache_signatures(
+                    {"layout": {}, "scopes": {"unsharded": by_name}}
+                )
+            return
+        if self.engine.cache is None:
+            return
+        if signatures is not None:
+            self.engine.cache.load_signatures(signatures)
+        elif region_sections:
+            flat: Dict[str, bytes] = {}
+            for section in (region_sections.get("scopes") or {}).values():  # type: ignore[union-attr]
+                flat.update(section)
+            index_by_name = {net.name: i for i, net in enumerate(self.netlist.nets)}
+            self.engine.cache.load_signatures(
+                {
+                    index_by_name[name]: signature
+                    for name, signature in flat.items()
+                    if name in index_by_name
+                }
+            )
 
     # ------------------------------------------------------------ internals
     def _make_bifurcation(self) -> BifurcationModel:

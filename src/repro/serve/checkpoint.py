@@ -35,6 +35,8 @@ __all__ = [
     "CheckpointError",
     "Checkpoint",
     "router_fingerprint",
+    "encode_region_signatures",
+    "decode_region_signatures",
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_hook",
@@ -42,7 +44,13 @@ __all__ = [
 ]
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
-CHECKPOINT_VERSION = 1
+#: Version 2 added the per-region replay-memo sections
+#: (``region_cache_signatures``): sharded flows keep their re-route
+#: signatures inside per-scope engines, exported as name-keyed sections so a
+#: resume -- under the same or a different decomposition, sharded or not --
+#: restores them.  Version 1 checkpoints lack the sections and are rejected
+#: with a clear error instead of being restored with silently dropped state.
+CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(RuntimeError):
@@ -137,6 +145,38 @@ class Checkpoint:
         router.import_state(self.state)
 
 
+def encode_region_signatures(
+    sections: Optional[Dict[str, object]]
+) -> Optional[Dict[str, object]]:
+    """JSON encoding of the per-region signature sections (hex digests)."""
+    if sections is None:
+        return None
+    return {
+        "layout": sections.get("layout") or {},
+        "scopes": {
+            scope_key: {name: sig.hex() for name, sig in by_name.items()}
+            for scope_key, by_name in (sections.get("scopes") or {}).items()  # type: ignore[union-attr]
+        },
+    }
+
+
+def decode_region_signatures(
+    record: Optional[Dict[str, object]]
+) -> Optional[Dict[str, object]]:
+    """The exact inverse of :func:`encode_region_signatures`."""
+    if record is None:
+        return None
+    return {
+        "layout": record.get("layout") or {},
+        "scopes": {
+            scope_key: {
+                str(name): bytes.fromhex(str(sig)) for name, sig in by_name.items()
+            }
+            for scope_key, by_name in (record.get("scopes") or {}).items()  # type: ignore[union-attr]
+        },
+    }
+
+
 def save_checkpoint(router: GlobalRouter, path: str) -> None:
     """Write the router's current state to ``path`` (atomic replace)."""
     state = router.export_state()
@@ -161,6 +201,9 @@ def save_checkpoint(router: GlobalRouter, path: str) -> None:
             "edge_prices": encode_array(state["edge_prices"]),  # type: ignore[arg-type]
             "delay_weights": state["delay_weights"],
             "cache_signatures": signatures,
+            "region_cache_signatures": encode_region_signatures(
+                state.get("region_cache_signatures")  # type: ignore[arg-type]
+            ),
         },
     }
     directory = os.path.dirname(os.path.abspath(path))
@@ -186,6 +229,13 @@ def load_checkpoint(path: str) -> Checkpoint:
     if document.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(f"{path!r} is not a {CHECKPOINT_FORMAT} file")
     if document.get("version") != CHECKPOINT_VERSION:
+        if document.get("version") == 1:
+            raise CheckpointError(
+                f"{path!r} is a version 1 checkpoint, which predates the "
+                "per-region replay-memo sections (region_cache_signatures); "
+                f"this build reads version {CHECKPOINT_VERSION} -- re-run "
+                "the flow and write a fresh checkpoint"
+            )
         raise CheckpointError(
             f"unsupported checkpoint version {document.get('version')!r} "
             f"(this build reads version {CHECKPOINT_VERSION})"
@@ -208,6 +258,9 @@ def load_checkpoint(path: str) -> Checkpoint:
         "edge_prices": decode_array(raw_state["edge_prices"]),
         "delay_weights": raw_state["delay_weights"],
         "cache_signatures": signatures,
+        "region_cache_signatures": decode_region_signatures(
+            raw_state.get("region_cache_signatures")
+        ),
     }
     return Checkpoint(fingerprint=document["fingerprint"], state=state)
 

@@ -84,7 +84,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help=(
             "fan the design out as this many region sub-jobs with seam "
-            "stitching and a merged result (1 = ordinary route job)"
+            "stitching and a merged result (1 = ordinary route job); "
+            "combined with --session, the session itself routes through "
+            "the in-process shard coordinator and later eco jobs replay "
+            "their memos through it"
         ),
     )
     submit.add_argument(
@@ -127,6 +130,30 @@ def build_parser() -> argparse.ArgumentParser:
     eco.add_argument("--session", required=True, help="target session name")
     eco.add_argument("--ops", default=None, help="JSON list of ECO ops")
     eco.add_argument("--ops-file", default=None, help="file with a JSON list of ECO ops")
+    eco.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help=(
+            "re-point the session's flow at this many regions before "
+            "replaying (omit to keep the session's current decomposition)"
+        ),
+    )
+    eco.add_argument(
+        "--shard-workers",
+        type=_positive_int,
+        default=None,
+        help=(
+            "region worker processes for the session's sharded replay "
+            "(results are bit-identical for every worker count)"
+        ),
+    )
+    eco.add_argument(
+        "--shard-halo",
+        type=_non_negative_int,
+        default=None,
+        help="halo tiles for interior/seam classification of the session's flow",
+    )
     eco.add_argument("--wait", action="store_true", help="block until the job finishes")
     eco.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
 
@@ -177,17 +204,23 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "cache": args.cache,
         "cache_scope": args.cache_scope,
     }
-    if args.shards > 1:
-        if args.session:
-            raise ServeError("sessions and --shards are mutually exclusive")
+    if args.session:
+        # A session with --shards routes through the in-process shard
+        # coordinator (memo-capable), not the daemon's fan-out job kind.
+        params["session"] = args.session
+        if args.shards > 1:
+            params["shards"] = args.shards
+            params["shard_halo"] = args.shard_halo
+            if args.shard_workers is not None:
+                params["shard_workers"] = args.shard_workers
+        job_id = client.submit_route(**params)
+    elif args.shards > 1:
         params["shards"] = args.shards
         params["shard_halo"] = args.shard_halo
         if args.shard_workers is not None:
             params["shard_workers"] = args.shard_workers
         job_id = client.submit_shard(**params)
     else:
-        if args.session:
-            params["session"] = args.session
         job_id = client.submit_route(**params)
     if args.wait:
         return _finish(client.wait(job_id, timeout=args.timeout))
@@ -227,7 +260,14 @@ def _load_ops(args: argparse.Namespace) -> List[Dict[str, object]]:
 
 def _cmd_eco(args: argparse.Namespace) -> int:
     client = ServeClient(args.host, args.port)
-    job_id = client.submit_eco(args.session, _load_ops(args))
+    params: Dict[str, object] = {}
+    if args.shards is not None:
+        params["shards"] = args.shards
+    if args.shard_workers is not None:
+        params["shard_workers"] = args.shard_workers
+    if args.shard_halo is not None:
+        params["shard_halo"] = args.shard_halo
+    job_id = client.submit_eco(args.session, _load_ops(args), **params)
     if args.wait:
         return _finish(client.wait(job_id, timeout=args.timeout))
     _emit({"job_id": job_id})

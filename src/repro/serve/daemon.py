@@ -376,11 +376,6 @@ class ServeDaemon:
         oracle = make_oracle(str(params.get("oracle", "CD")))
         config = _router_config_from_params(params)
         session_name = params.get("session")
-        if session_name is not None and config.shards > 1:
-            raise ValueError(
-                "sessions require an unsharded flow; submit without --shards "
-                "or without --session"
-            )
         if session_name is not None:
             session_name = str(session_name)
             # Reserve the name atomically so two concurrent route jobs
@@ -708,7 +703,39 @@ class ServeDaemon:
         if not isinstance(ops, list) or not ops:
             raise ValueError("eco jobs need a non-empty 'ops' list")
         with lock:  # ECOs against one session are serialised
-            report = session.apply_eco(ops, on_round_end=self._cancel_hook(cancel))
+            # ECO jobs may re-point the session's flow at a different shard
+            # configuration (``eco --shards K --shard-workers N``); worker
+            # counts are result-neutral, a changed K makes this re-route a
+            # cold-equivalent one under the new decomposition.  The previous
+            # configuration is restored when the flow fails or is cancelled:
+            # a failed ECO must leave the session *exactly* as it was,
+            # decomposition included.
+            shards = params.get("shards")
+            shard_workers = params.get("shard_workers")
+            previous_config = session.config
+            try:
+                session.configure_sharding(
+                    shards=None if shards is None else int(shards),  # type: ignore[arg-type]
+                    shard_workers=(
+                        None if shard_workers is None else int(shard_workers)  # type: ignore[arg-type]
+                    ),
+                    shard_halo=(
+                        None
+                        if params.get("shard_halo") is None
+                        else int(params["shard_halo"])  # type: ignore[arg-type]
+                    ),
+                    shard_start_method=(
+                        # The daemon is multi-threaded; in-daemon region pools
+                        # must not fork (see _daemon_safe_start_method).
+                        _daemon_safe_start_method()
+                        if session.config.shards > 1 or (shards is not None and int(shards) > 1)  # type: ignore[arg-type]
+                        else None
+                    ),
+                )
+                report = session.apply_eco(ops, on_round_end=self._cancel_hook(cancel))
+            except BaseException:
+                session.config = previous_config
+                raise
         payload = report.as_dict()
         payload["session"] = session_name
         return payload

@@ -22,6 +22,15 @@ any cost change.
 Sessions always start each flow from fresh prices, so results never depend
 on how many ECOs preceded them -- state amortised across requests is the
 memo log, not the Lagrangean trajectory.
+
+Sessions drive sharded engines too (``GlobalRouterConfig.shards > 1``,
+optionally with a region worker pool): the shard coordinator carries the
+memo log through every pass -- clean regions replay their memos without an
+oracle call, and only the regions and seam scopes owning dirty nets
+re-route -- so a sharded ECO replay is bit-identical to a cold sharded
+re-route of the edited netlist on every region backend.
+:meth:`RoutingSession.configure_sharding` re-points an existing session at
+a different decomposition or worker count between flows.
 """
 
 from __future__ import annotations
@@ -94,11 +103,6 @@ class RoutingSession:
         name: Optional[str] = None,
     ) -> None:
         base = config or GlobalRouterConfig()
-        if base.shards > 1:
-            raise ValueError(
-                "sessions require an unsharded flow (shards=1); the shard "
-                "coordinator does not carry replay memos yet"
-            )
         if not base.engine.reroute_cache:
             base = replace(base, engine=replace(base.engine, reroute_cache=True))
         self.graph = graph
@@ -119,6 +123,36 @@ class RoutingSession:
     @property
     def num_nets(self) -> int:
         return self.netlist.num_nets
+
+    def configure_sharding(
+        self,
+        shards: Optional[int] = None,
+        shard_workers: Optional[int] = None,
+        shard_halo: Optional[int] = None,
+        shard_start_method: Optional[str] = None,
+    ) -> None:
+        """Re-point the session's later flows at a different decomposition.
+
+        Arguments left ``None`` keep their current value.  Changing
+        ``shard_workers`` (or the start method) never changes results --
+        region backends are bit-identical.  Changing ``shards`` or the halo
+        changes the flow itself: the next ECO is still bit-identical to a
+        cold re-route of the edited netlist *under the new configuration*,
+        but memos recorded under the old decomposition mostly miss (scope
+        signatures are only comparable between identical scopes), so that
+        first re-route amortises little.
+        """
+        updates: Dict[str, object] = {}
+        if shards is not None:
+            updates["shards"] = int(shards)
+        if shard_workers is not None:
+            updates["shard_workers"] = int(shard_workers)
+        if shard_halo is not None:
+            updates["shard_halo"] = int(shard_halo)
+        if shard_start_method is not None:
+            updates["shard_start_method"] = str(shard_start_method)
+        if updates:
+            self.config = replace(self.config, **updates)  # validated by __post_init__
 
     def route(self, on_round_end=None) -> RoutingResult:
         """Route the session's current netlist from scratch (records the

@@ -39,8 +39,22 @@ Two interior execution modes:
 
 The coordinator is stateless between rounds beyond the shared map and the
 global trees list, so checkpoint/resume through :class:`GlobalRouter` works
-unchanged.  Replay memo logs (ECO sessions) are not supported through
-shards yet; ``route_round`` rejects them explicitly.
+unchanged.  Replay memo logs (ECO sessions, see
+:class:`repro.engine.cache.RoundMemo`) are carried through every pass:
+``route_round`` receives the round's global memo, each scope (region
+interiors, seam super-region scopes, the global seam engine) localises its
+slice -- signatures are only comparable between identical scopes, and a
+memo tree that no longer fits a scope's prism is dropped rather than
+mis-installed -- and the freshly computed lookup signatures are merged back
+into the round's log in fixed region order.  On the region pool the memos
+travel inside :class:`~repro.shard.executor.RegionTask` /
+:class:`~repro.shard.executor.RegionOutcome`; worker engines build their
+signature caches lazily and invalidate them per task, so memo flows stay
+round-stateless on every backend.  This is what lets
+:class:`repro.serve.session.RoutingSession` drive a sharded engine: clean
+regions replay their memos without an oracle call while only the dirty-net
+closure re-routes, bit-identical to a cold sharded re-route of the edited
+netlist.
 """
 
 from __future__ import annotations
@@ -77,6 +91,24 @@ if TYPE_CHECKING:  # circular at runtime: repro.router imports the engine API
 from repro.router.netlist import Net, Netlist, Pin
 
 __all__ = ["ShardStats", "ShardCoordinator"]
+
+
+def _prepare_memo_round(engine: RoutingEngine, memo_active: bool, stateless: bool) -> None:
+    """Make a scope engine memo-capable for this round.
+
+    Pooled scopes are configured cache-free (their worker twins must be
+    round-stateless); when a memo round needs the signature machinery
+    in-process -- the degraded serial fallback -- the cache is built lazily
+    and, for stateless (pooled) scopes, invalidated per round: exactly the
+    worker behavior, so degradation stays bit-identical to the live pool.
+    Shared by the fast-path and parity scope twins so the cache contract
+    cannot drift between them.
+    """
+    if not memo_active:
+        return
+    cache = engine.ensure_cache()
+    if stateless:
+        cache.invalidate()
 
 
 @dataclass(frozen=True)
@@ -150,6 +182,10 @@ class _SubgraphScope:
         self.label = label
         self.box = box
         self.interior = nets
+        #: Pooled scopes keep their caches round-stateless (see
+        #: :meth:`route_round`): the degraded serial fallback must behave
+        #: exactly like the worker twins, which invalidate per task.
+        self.pooled = pooled
         self.xlo, self.ylo = box.xlo, box.ylo
         self.sub_graph, self.edge_to_global = extract_prism(
             graph, box.xlo, box.ylo, box.xhi, box.yhi
@@ -232,10 +268,27 @@ class _SubgraphScope:
             tree.method,
         )
 
-    def tree_to_local(self, graph: RoutingGraph, tree: EmbeddedTree) -> EmbeddedTree:
+    def try_tree_to_local(
+        self, graph: RoutingGraph, tree: EmbeddedTree
+    ) -> Optional[EmbeddedTree]:
+        """``tree`` translated onto this scope's subgraph, or ``None`` when
+        it uses edges outside the prism (e.g. a replay memo recorded while
+        the net belonged to a different scope)."""
         mapping = self._edge_to_local_list
         edges = tuple(mapping[int(e)] for e in tree.edges)
         if any(e < 0 for e in edges):
+            return None
+        return EmbeddedTree(
+            self.sub_graph,
+            self._node_to_local(graph, tree.root),
+            tuple(self._node_to_local(graph, s) for s in tree.sinks),
+            edges,
+            tree.method,
+        )
+
+    def tree_to_local(self, graph: RoutingGraph, tree: EmbeddedTree) -> EmbeddedTree:
+        local = self.try_tree_to_local(graph, tree)
+        if local is None:
             # Only reachable with trees from outside this scope's flow, e.g.
             # a checkpoint taken under a different shard configuration whose
             # routes detour outside this prism; -1 would otherwise be
@@ -245,12 +298,51 @@ class _SubgraphScope:
                 "the region prism; resume checkpoints with the shard "
                 "configuration they were written under"
             )
-        return EmbeddedTree(
-            self.sub_graph,
-            self._node_to_local(graph, tree.root),
-            tuple(self._node_to_local(graph, s) for s in tree.sinks),
-            edges,
-            tree.method,
+        return local
+
+    # ------------------------------------------------------------- memos
+    def localize_replay(
+        self, coordinator: "ShardCoordinator", replay_round: Optional[RoundMemo]
+    ) -> Optional[RoundMemo]:
+        """The slice of the global replay memo this scope can use, keyed by
+        local net index with trees on the scope's subgraph.
+
+        Nets without a memo entry, and nets whose memoised tree strays
+        outside this prism (their scope changed across the ECO, so the
+        signature could not have been computed here), are dropped -- they
+        simply re-route, which is always sound.
+        """
+        if replay_round is None:
+            return None
+        graph = coordinator.graph
+        memo = RoundMemo()
+        for local_index, global_index in enumerate(self.interior):
+            signature = replay_round.signatures.get(global_index)
+            tree = replay_round.trees.get(global_index)
+            if signature is None or tree is None:
+                continue
+            local_tree = self.try_tree_to_local(graph, tree)
+            if local_tree is None:
+                continue
+            memo.signatures[local_index] = signature
+            memo.trees[local_index] = local_tree
+        return memo
+
+    def merge_log(self, log_round: Optional[RoundMemo], local_log: Optional[RoundMemo]) -> None:
+        """Fold a scope-local log into the round's global memo.
+
+        Signatures move from local to global net indices; *only* signatures
+        -- memo trees are recorded globally by the router after the round,
+        so mid-round the global log never holds subgraph-indexed trees
+        (matching the pool path, whose outcomes ship signatures alone).
+        """
+        if log_round is None or local_log is None:
+            return
+        log_round.signatures.update(
+            {
+                self.interior[local_index]: signature
+                for local_index, signature in local_log.signatures.items()
+            }
         )
 
     # -------------------------------------------------------------- round
@@ -260,6 +352,8 @@ class _SubgraphScope:
         round_index: int,
         trees: List[Optional[EmbeddedTree]],
         usage: np.ndarray,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
     ) -> np.ndarray:
         """Route the scope's nets against the given global usage state;
         returns the scope-local usage delta (global scatter is the
@@ -274,7 +368,16 @@ class _SubgraphScope:
             None if trees[g] is None else self.tree_to_local(graph, trees[g])
             for g in self.interior
         ]
-        self.engine.route_round(round_index, local_trees)
+        local_replay = self.localize_replay(coordinator, replay_round)
+        local_log = RoundMemo() if log_round is not None else None
+        _prepare_memo_round(
+            self.engine, local_replay is not None or local_log is not None, self.pooled
+        )
+        self.engine.route_round(
+            round_index, local_trees,
+            replay_round=local_replay, log_round=local_log,
+        )
+        self.merge_log(log_round, local_log)
         for local_index, global_index in enumerate(self.interior):
             local_tree = local_trees[local_index]
             trees[global_index] = (
@@ -306,9 +409,20 @@ class _SubgraphScope:
         round_index: int,
         trees: List[Optional[EmbeddedTree]],
         snapshot: CongestionSnapshot,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
     ) -> RegionTask:
         """The scope's dynamic round inputs, gathered onto its subgraph."""
         graph = coordinator.graph
+        replay = None
+        if replay_round is not None:
+            local = self.localize_replay(coordinator, replay_round)
+            replay = tuple(
+                (local.signatures[i], encode_tree(local.trees[i]))
+                if i in local.signatures
+                else None
+                for i in range(len(self.interior))
+            )
         return RegionTask(
             key=self.key,
             round_index=round_index,
@@ -323,6 +437,8 @@ class _SubgraphScope:
                 else encode_tree(self.tree_to_local(graph, trees[g]))
                 for g in self.interior
             ),
+            replay=replay,
+            capture_log=log_round is not None,
         )
 
     def apply_outcome(
@@ -330,6 +446,7 @@ class _SubgraphScope:
         coordinator: "ShardCoordinator",
         trees: List[Optional[EmbeddedTree]],
         outcome: RegionOutcome,
+        log_round: Optional[RoundMemo] = None,
     ) -> np.ndarray:
         """Install a worker's routed trees; returns the scope-local delta."""
         graph = coordinator.graph
@@ -340,7 +457,36 @@ class _SubgraphScope:
                 if record is None
                 else self.tree_to_global(graph, decode_tree(self.sub_graph, record))
             )
+        if log_round is not None and outcome.log_signatures is not None:
+            for local_index, global_index in enumerate(self.interior):
+                signature = outcome.log_signatures[local_index]
+                if signature is not None:
+                    log_round.signatures[global_index] = signature
         return np.asarray(outcome.delta, dtype=np.float64)
+
+    # ------------------------------------------------------- checkpointing
+    def cache_signatures_by_name(self) -> Optional[Dict[str, bytes]]:
+        """The local engine's stored re-route signatures keyed by net name
+        (``None`` when the scope routes cache-free)."""
+        if self.engine.cache is None:
+            return None
+        return {
+            self.sub_netlist.nets[local_index].name: signature
+            for local_index, signature in self.engine.cache.export_signatures().items()
+        }
+
+    def load_cache_signatures_by_name(self, by_name: Dict[str, bytes]) -> None:
+        """Restore checkpointed signatures into the local engine's cache
+        (no-op for cache-free scopes; unknown names are ignored)."""
+        if self.engine.cache is None:
+            return
+        self.engine.cache.load_signatures(
+            {
+                local_index: by_name[net.name]
+                for local_index, net in enumerate(self.sub_netlist.nets)
+                if net.name in by_name
+            }
+        )
 
 
 class _ParityRegion:
@@ -351,6 +497,7 @@ class _ParityRegion:
         self.index = region_index
         self.label = f"parity{region_index}"
         self.interior = interior
+        self.pooled = coordinator.parallel_regions
         self.graph = coordinator.graph
         self.netlist = coordinator.netlist
         self.congestion = CongestionMap(
@@ -381,17 +528,44 @@ class _ParityRegion:
             executor=coordinator.executor,
         )
 
+    # ------------------------------------------------------------- memos
+    def localize_replay(
+        self, coordinator: "ShardCoordinator", replay_round: Optional[RoundMemo]
+    ) -> Optional[RoundMemo]:
+        """The replay slice of this region's nets (keys and trees are
+        already global on the parity path)."""
+        if replay_round is None:
+            return None
+        return replay_round.restrict_to(self.interior)
+
+    def merge_log(self, log_round: Optional[RoundMemo], local_log: Optional[RoundMemo]) -> None:
+        """Fold this region's log into the round memo (keys already global;
+        signatures only, like the fast-path twin)."""
+        if log_round is None or local_log is None:
+            return
+        log_round.signatures.update(local_log.signatures)
+
     def route_round(
         self,
         coordinator: "ShardCoordinator",
         round_index: int,
         trees: List[Optional[EmbeddedTree]],
         snapshot: CongestionSnapshot,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
     ) -> np.ndarray:
         """Route on the full graph against the round-start snapshot; returns
         the full-graph usage delta."""
         self.congestion.restore(snapshot)
-        self.engine.route_round(round_index, trees)
+        local_replay = self.localize_replay(coordinator, replay_round)
+        local_log = RoundMemo() if log_round is not None else None
+        _prepare_memo_round(
+            self.engine, local_replay is not None or local_log is not None, self.pooled
+        )
+        self.engine.route_round(
+            round_index, trees, replay_round=local_replay, log_round=local_log
+        )
+        self.merge_log(log_round, local_log)
         return self.congestion.delta_since(snapshot)
 
     # --------------------------------------------- region-pool integration
@@ -427,7 +601,18 @@ class _ParityRegion:
         round_index: int,
         trees: List[Optional[EmbeddedTree]],
         snapshot: CongestionSnapshot,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
     ) -> RegionTask:
+        replay = None
+        if replay_round is not None:
+            local = self.localize_replay(coordinator, replay_round)
+            replay = tuple(
+                (local.signatures[g], encode_tree(local.trees[g]))
+                if g in local.signatures and g in local.trees
+                else None
+                for g in self.interior
+            )
         return RegionTask(
             key=self.key,
             round_index=round_index,
@@ -437,6 +622,8 @@ class _ParityRegion:
                 tuple(coordinator.prices.weights_of(g)) for g in self.interior
             ),
             trees=tuple(encode_tree(trees[g]) for g in self.interior),
+            replay=replay,
+            capture_log=log_round is not None,
         )
 
     def apply_outcome(
@@ -444,10 +631,37 @@ class _ParityRegion:
         coordinator: "ShardCoordinator",
         trees: List[Optional[EmbeddedTree]],
         outcome: RegionOutcome,
+        log_round: Optional[RoundMemo] = None,
     ) -> np.ndarray:
         for net_index, record in zip(self.interior, outcome.trees):
             trees[net_index] = decode_tree(self.graph, record)
+        if log_round is not None and outcome.log_signatures is not None:
+            for net_index, signature in zip(self.interior, outcome.log_signatures):
+                if signature is not None:
+                    log_round.signatures[net_index] = signature
         return np.asarray(outcome.delta, dtype=np.float64)
+
+    # ------------------------------------------------------- checkpointing
+    def cache_signatures_by_name(self) -> Optional[Dict[str, bytes]]:
+        """Stored re-route signatures keyed by net name (``None`` when this
+        region routes cache-free)."""
+        if self.engine.cache is None:
+            return None
+        return {
+            self.netlist.nets[net_index].name: signature
+            for net_index, signature in self.engine.cache.export_signatures().items()
+        }
+
+    def load_cache_signatures_by_name(self, by_name: Dict[str, bytes]) -> None:
+        if self.engine.cache is None:
+            return
+        self.engine.cache.load_signatures(
+            {
+                net_index: by_name[self.netlist.nets[net_index].name]
+                for net_index in self.interior
+                if self.netlist.nets[net_index].name in by_name
+            }
+        )
 
 
 class ShardCoordinator:
@@ -621,12 +835,18 @@ class ShardCoordinator:
         replay_round: Optional[RoundMemo] = None,
         log_round: Optional[RoundMemo] = None,
     ) -> List[SteinerInstance]:
-        """Route every net once: interior passes, stitch, seam pass."""
-        if replay_round is not None or log_round is not None:
-            raise ValueError(
-                "replay memo logs are not supported through the shard "
-                "coordinator; route with shards=1 for ECO sessions"
-            )
+        """Route every net once: interior passes, stitch, seam pass.
+
+        ``replay_round`` / ``log_round`` are the round's *global* replay and
+        log memos (see :class:`~repro.engine.cache.RoundMemo`); every scope
+        localises its slice and contributes its lookup signatures back in
+        fixed region order, so session flows work through shards on every
+        region backend.
+        """
+        if (replay_round is not None or log_round is not None) and not (
+            self.config.reroute_cache
+        ):
+            raise ValueError("replay/memo rounds require reroute_cache=True")
         started = time.perf_counter()
         snapshot = self.congestion.snapshot()
         round_costs = snapshot.edge_costs(self.prices.edge_prices) if record else None
@@ -635,7 +855,8 @@ class ShardCoordinator:
         # serially or on the region executor's process pool -- either way the
         # deltas come back aligned with ``self.regions``.
         deltas, region_reports = self.region_executor.route_round(
-            self, round_index, trees, snapshot
+            self, round_index, trees, snapshot,
+            replay_round=replay_round, log_round=log_round,
         )
         if record:
             for region in self.regions:
@@ -655,7 +876,10 @@ class ShardCoordinator:
         # Seam super-region scopes (fast path only) run against the live,
         # already-stitched map, one scope after the other.
         for scope in self.seam_scopes:
-            delta = scope.route_round(self, round_index, trees, self.congestion.usage)
+            delta = scope.route_round(
+                self, round_index, trees, self.congestion.usage,
+                replay_round=replay_round, log_round=log_round,
+            )
             self.congestion.usage[scope.edge_to_global] += delta
             if record:
                 collected.extend(
@@ -663,7 +887,12 @@ class ShardCoordinator:
                 )
         if self.parity:
             self._seam_congestion.restore(snapshot)
-        collected.extend(self.seam_engine.route_round(round_index, trees, record=record))
+        collected.extend(
+            self.seam_engine.route_round(
+                round_index, trees, record=record,
+                replay_round=replay_round, log_round=log_round,
+            )
+        )
         if self.parity:
             self.congestion.usage += self._seam_congestion.delta_since(snapshot)
         self.round_reports.append(
@@ -759,6 +988,76 @@ class ShardCoordinator:
             report.nets_replayed += last.nets_replayed
         report.walltime_seconds = time.perf_counter() - started
         return report
+
+    # ------------------------------------------------------- checkpointing
+    def export_cache_signatures(self) -> Optional[Dict[str, object]]:
+        """The per-scope re-route signature sections of a checkpoint.
+
+        Returns ``None`` when no scope holds a cache (``reroute_cache`` off,
+        or every scope routes cache-free); otherwise a document of the shape
+        ``{"layout": {"shards": K, "parity": bool}, "scopes": {scope_key:
+        {net_name: signature_bytes}}}``.  Signatures are keyed by net *name*
+        -- the same convention as RNG streams and replay memos -- so a
+        restore can redistribute them across a different decomposition.
+        """
+        scopes: Dict[str, Dict[str, bytes]] = {}
+        for region in self.regions:
+            section = region.cache_signatures_by_name()  # type: ignore[attr-defined]
+            if section is not None:
+                scopes[region.key] = section  # type: ignore[attr-defined]
+        for scope in self.seam_scopes:
+            section = scope.cache_signatures_by_name()
+            if section is not None:
+                scopes[scope.key] = section
+        if self.seam_engine.cache is not None:
+            scopes["seam"] = {
+                self.netlist.nets[net_index].name: signature
+                for net_index, signature in (
+                    self.seam_engine.cache.export_signatures().items()
+                )
+            }
+        if not scopes:
+            return None
+        return {
+            "layout": {"shards": self.partition.num_regions, "parity": self.parity},
+            "scopes": scopes,
+        }
+
+    def load_cache_signatures(self, sections: Dict[str, object]) -> None:
+        """Restore checkpointed signature sections into the scope caches.
+
+        When the checkpoint's shard layout matches this coordinator's, each
+        scope restores exactly its own section.  Under a different layout
+        the sections are flattened by net name and every scope picks out its
+        nets -- exact in the parity regime (parity signatures are
+        scope-independent), and merely conservative on the fast path, where
+        a foreign-prism signature can only produce a cache miss, never a
+        wrong tree.
+        """
+        layout = sections.get("layout") or {}
+        scopes: Dict[str, Dict[str, bytes]] = sections.get("scopes") or {}  # type: ignore[assignment]
+        exact = (
+            layout.get("shards") == self.partition.num_regions
+            and layout.get("parity") == self.parity
+        )
+        flat: Dict[str, bytes] = {}
+        for section in scopes.values():
+            flat.update(section)
+        for region in list(self.regions) + list(self.seam_scopes):
+            source = scopes.get(region.key) if exact else None  # type: ignore[attr-defined]
+            region.load_cache_signatures_by_name(  # type: ignore[attr-defined]
+                source if source is not None else flat
+            )
+        if self.seam_engine.cache is not None:
+            source = scopes.get("seam") if exact else None
+            by_name = source if source is not None else flat
+            self.seam_engine.cache.load_signatures(
+                {
+                    net_index: by_name[self.netlist.nets[net_index].name]
+                    for net_index in self._global_seam
+                    if self.netlist.nets[net_index].name in by_name
+                }
+            )
 
     def region_worker_payload(self) -> Dict[str, object]:
         """The read-only payload priming region-pool workers: the oracle,

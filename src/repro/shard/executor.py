@@ -26,6 +26,15 @@ metric, are bit-identical across backends.
   the same contract :class:`~repro.engine.executor.ProcessExecutor` honors:
   degradation costs parallelism, never correctness.
 
+Replay memo logs (ECO sessions, see :class:`repro.engine.cache.RoundMemo`)
+travel through both backends: a task carries the scope-localised
+``(signature, tree)`` memo of each of its nets plus a ``capture_log`` flag,
+and the outcome ships the scope's freshly computed lookup signatures back,
+which the coordinator folds into the round's global memo **in fixed region
+order**.  Worker-side engines build their signature cache lazily for such
+tasks and invalidate it per task, so memo flows stay round-stateless on the
+pool exactly like ordinary rounds.
+
 Use :func:`make_region_executor` to construct a backend from a worker count.
 """
 
@@ -39,6 +48,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.tree import EmbeddedTree
+from repro.engine.cache import RoundMemo
 from repro.engine.engine import RoutingEngine
 from repro.engine.executor import create_worker_pool, validate_start_method
 from repro.grid.congestion import CongestionMap, CongestionSnapshot
@@ -89,6 +99,12 @@ class RegionTask:
     for parity regions; ``weights`` and ``trees`` are aligned with the
     region engine's net order (local indices for subgraph scopes, the
     interior index list for parity regions).
+
+    ``replay`` carries the scope-localised replay memo of a session flow:
+    one ``(lookup_signature, memoised_tree)`` entry per net (``None`` for
+    nets without a usable memo), aligned like ``trees``; ``capture_log``
+    asks the worker to record this round's lookup signatures into the
+    outcome.  Both default to the memo-free ordinary round.
     """
 
     key: str
@@ -97,6 +113,8 @@ class RegionTask:
     edge_prices: np.ndarray
     weights: Tuple[Tuple[float, ...], ...]
     trees: Tuple[TreeRecord, ...]
+    replay: Optional[Tuple[Optional[Tuple[bytes, TreeRecord]], ...]] = None
+    capture_log: bool = False
 
 
 @dataclass(frozen=True)
@@ -106,12 +124,15 @@ class RegionOutcome:
     ``trees`` uses the same alignment as the task's; ``delta`` the same
     edge indexing as the task's ``usage``.  ``report`` is
     ``(num_batches, nets_routed, nets_cached, nets_replayed)``.
+    ``log_signatures`` holds the round's lookup signatures (aligned like
+    ``trees``) when the task asked for them with ``capture_log``.
     """
 
     key: str
     trees: Tuple[TreeRecord, ...]
     delta: np.ndarray
     report: Tuple[int, int, int, int]
+    log_signatures: Optional[Tuple[Optional[bytes], ...]] = None
 
 
 class _TaskPrices:
@@ -171,9 +192,20 @@ class _RegionRunner:
             self.interior if self.interior is not None else range(len(task.trees))
         )
         self.prices.load(task.edge_prices, engine_nets, task.weights)
+        replay_memo = self._replay_memo(task, engine_nets)
+        log_memo = RoundMemo() if task.capture_log else None
+        if replay_memo is not None or log_memo is not None:
+            # Memo rounds need the signature machinery, which this engine
+            # (configured cache-free for round-statelessness) builds lazily;
+            # invalidating per task keeps the worker a pure function of the
+            # task -- no signature survives into the next round.
+            self.engine.ensure_cache().invalidate()
         if self.interior is None:
             trees = [decode_tree(self.graph, record) for record in task.trees]
-            self.engine.route_round(task.round_index, trees)
+            self.engine.route_round(
+                task.round_index, trees,
+                replay_round=replay_memo, log_round=log_memo,
+            )
             routed = trees
         else:
             # Parity regions index the full netlist; nets outside the
@@ -181,16 +213,45 @@ class _RegionRunner:
             trees = [None] * self.netlist.num_nets  # type: ignore[union-attr]
             for net_index, record in zip(self.interior, task.trees):
                 trees[net_index] = decode_tree(self.graph, record)
-            self.engine.route_round(task.round_index, trees)
+            self.engine.route_round(
+                task.round_index, trees,
+                replay_round=replay_memo, log_round=log_memo,
+            )
             routed = [trees[net_index] for net_index in self.interior]
         last = self.engine.round_reports[-1]
+        log_signatures = None
+        if log_memo is not None:
+            log_signatures = tuple(
+                log_memo.signatures.get(key) for key in engine_nets
+            )
         return RegionOutcome(
             key=task.key,
             trees=tuple(encode_tree(tree) for tree in routed),
             delta=self.congestion.usage - start,
             report=(last.num_batches, last.nets_routed, last.nets_cached,
                     last.nets_replayed),
+            log_signatures=log_signatures,
         )
+
+    def _replay_memo(
+        self, task: RegionTask, engine_nets: Sequence[int]
+    ) -> Optional[RoundMemo]:
+        """The task's replay entries as a :class:`RoundMemo` keyed the way
+        this runner's engine keys nets (local indices for subgraph scopes,
+        global indices for parity regions)."""
+        if task.replay is None:
+            return None
+        memo = RoundMemo()
+        for key, entry in zip(engine_nets, task.replay):
+            if entry is None:
+                continue
+            signature, record = entry
+            tree = decode_tree(self.graph, record)
+            if tree is None:
+                continue
+            memo.signatures[key] = signature
+            memo.trees[key] = tree
+        return memo
 
 
 # --------------------------------------------------------------------------
@@ -241,12 +302,19 @@ class RegionExecutor:
         round_index: int,
         trees: List[Optional[EmbeddedTree]],
         snapshot: CongestionSnapshot,
+        replay_round: Optional[RoundMemo] = None,
+        log_round: Optional[RoundMemo] = None,
     ) -> Tuple[List[np.ndarray], List[Tuple[int, int, int, int]]]:
         """Route every interior region of one round against ``snapshot``.
 
         Mutates ``trees`` in place and returns ``(deltas, reports)`` aligned
         with ``coordinator.regions`` -- the coordinator stitches the deltas
         in that fixed order, which is what keeps all backends bit-identical.
+
+        ``replay_round`` / ``log_round`` are the round's *global* replay and
+        log memos (session flows); each region localises its slice of the
+        replay memo and its freshly computed lookup signatures are merged
+        back into ``log_round``, again in fixed region order.
         """
         raise NotImplementedError
 
@@ -266,15 +334,24 @@ class SerialRegionExecutor(RegionExecutor):
 
     backend = "serial"
 
-    def route_round(self, coordinator, round_index, trees, snapshot):
+    def route_round(self, coordinator, round_index, trees, snapshot,
+                    replay_round=None, log_round=None):
         deltas: List[np.ndarray] = []
         reports: List[Tuple[int, int, int, int]] = []
         for region in coordinator.regions:
             if coordinator.parity:
-                deltas.append(region.route_round(coordinator, round_index, trees, snapshot))
+                deltas.append(
+                    region.route_round(
+                        coordinator, round_index, trees, snapshot,
+                        replay_round=replay_round, log_round=log_round,
+                    )
+                )
             else:
                 deltas.append(
-                    region.route_round(coordinator, round_index, trees, snapshot.usage)
+                    region.route_round(
+                        coordinator, round_index, trees, snapshot.usage,
+                        replay_round=replay_round, log_round=log_round,
+                    )
                 )
             last = region.engine.round_reports[-1]
             reports.append(
@@ -361,16 +438,26 @@ class ProcessRegionExecutor(RegionExecutor):
         super().close()
 
     # ------------------------------------------------------------------ API
-    def route_round(self, coordinator, round_index, trees, snapshot):
+    def route_round(self, coordinator, round_index, trees, snapshot,
+                    replay_round=None, log_round=None):
         if len(coordinator.regions) <= 1:
             # One region cannot be overlapped with anything; skip the IPC.
-            return self._serial.route_round(coordinator, round_index, trees, snapshot)
+            return self._serial.route_round(
+                coordinator, round_index, trees, snapshot,
+                replay_round=replay_round, log_round=log_round,
+            )
         pool = self._ensure_pool(coordinator)
         if pool is None:
             # Degraded mode: no pool could be started in this environment.
-            return self._serial.route_round(coordinator, round_index, trees, snapshot)
+            return self._serial.route_round(
+                coordinator, round_index, trees, snapshot,
+                replay_round=replay_round, log_round=log_round,
+            )
         tasks = [
-            region.make_task(coordinator, round_index, trees, snapshot)
+            region.make_task(
+                coordinator, round_index, trees, snapshot,
+                replay_round=replay_round, log_round=log_round,
+            )
             for region in coordinator.regions
         ]
         outcomes = pool.map(_route_region, tasks)
@@ -378,7 +465,9 @@ class ProcessRegionExecutor(RegionExecutor):
         reports: List[Tuple[int, int, int, int]] = []
         # Apply in fixed region order regardless of worker completion order.
         for region, outcome in zip(coordinator.regions, outcomes):
-            deltas.append(region.apply_outcome(coordinator, trees, outcome))
+            deltas.append(
+                region.apply_outcome(coordinator, trees, outcome, log_round=log_round)
+            )
             reports.append(outcome.report)
         return deltas, reports
 

@@ -185,22 +185,53 @@ class TestShardFastPath:
             assert getattr(result, field) == getattr(expected, field), field
         assert tree_key(resumed.trees) == tree_key(uninterrupted.trees)
 
-    def test_replay_logs_rejected_through_shards(self):
+    def test_record_log_through_shards_covers_every_net(self):
+        """The shard coordinator records replay memos: one per round, with a
+        lookup signature and a post-round tree for every net of the design
+        (interior, seam-scope, and global-seam alike)."""
+        graph, netlist = smoke_design(0.3)
+        router = GlobalRouter(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(
+                num_rounds=2, shards=2,
+                engine=EngineConfig(reroute_cache=True),
+            ),
+        )
+        router.run(record_log=True)
+        assert router.replay_log is not None
+        assert len(router.replay_log) == 2
+        for memo in router.replay_log:
+            assert sorted(memo.signatures) == list(range(netlist.num_nets))
+            assert sorted(memo.trees) == list(range(netlist.num_nets))
+
+    def test_memo_rounds_without_cache_rejected_through_shards(self):
         graph, netlist = smoke_design(0.3)
         router = GlobalRouter(
             graph, netlist, CostDistanceSolver(),
             GlobalRouterConfig(num_rounds=1, shards=2),
         )
-        with pytest.raises(ValueError, match="replay"):
+        with pytest.raises(ValueError, match="reroute_cache"):
             router.run(record_log=True)
+        router.engine.close()
 
-    def test_sessions_require_unsharded_flow(self):
+    def test_sharded_session_routes_and_replays(self):
+        """Sessions drive sharded engines: the PR-2 shards=1 guard is gone
+        (the cross-backend battery lives in tests/test_session_shard.py)."""
         graph, netlist = smoke_design(0.3)
-        with pytest.raises(ValueError, match="unsharded"):
-            RoutingSession(
-                graph, netlist, CostDistanceSolver(),
-                GlobalRouterConfig(shards=2),
-            )
+        session = RoutingSession(
+            graph, netlist, CostDistanceSolver(),
+            GlobalRouterConfig(num_rounds=2, shards=2),
+        )
+        session.route()
+        net = netlist.nets[0]
+        sink = net.sinks[0]
+        report = session.apply_eco(
+            [{"op": "move_pin", "net": net.name, "pin": sink.name,
+              "x": (sink.position.x + 1) % graph.nx, "y": sink.position.y,
+              "layer": sink.position.layer}]
+        )
+        assert report.nets_reused > 0  # clean scopes replayed their memos
+        assert report.nets_rerouted + report.nets_reused == 2 * session.num_nets
 
     def test_record_instances_covers_every_net(self):
         graph, netlist = smoke_design(0.4)
@@ -325,13 +356,64 @@ class TestServeShardJobs:
         assert record["status"] == "failed"
         assert "shards >= 2" in record["error"]
 
-    def test_route_job_with_session_and_shards_fails(self, daemon):
+    def test_sharded_session_route_then_eco(self, daemon):
+        """A route job may open a *sharded* session; eco jobs against it
+        replay their memos through the shard coordinator."""
         host, port = daemon.address
         client = ServeClient(host, port)
         client.wait_until_up()
         job_id = client.submit_route(
-            chip="c1", net_scale=0.3, rounds=1, shards=2, session="s1"
+            chip="c1", net_scale=0.3, rounds=2, shards=2, session="s1"
         )
-        record = client.wait(job_id, timeout=120)
+        record = client.wait(job_id, timeout=300)
+        assert record["status"] == "done", record
+        assert record["result"]["session"] == "s1"
+        eco_id = client.submit_eco(
+            "s1",
+            [{"op": "move_pin", "net": "n0", "pin": "n0:s0", "x": 1, "y": 1}],
+        )
+        eco_record = client.wait(eco_id, timeout=300)
+        assert eco_record["status"] == "done", eco_record
+        payload = eco_record["result"]
+        assert payload["touched"] == ["n0"]
+        assert payload["nets_reused"] > 0  # clean scopes replayed
+
+    def test_eco_job_reshards_session(self, daemon):
+        """eco jobs accept shard overrides: the session's next flows run
+        under the new decomposition/worker count."""
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        job_id = client.submit_route(chip="c1", net_scale=0.3, rounds=1, session="s2")
+        assert client.wait(job_id, timeout=300)["status"] == "done"
+        eco_id = client.submit_eco(
+            "s2",
+            [{"op": "move_pin", "net": "n0", "pin": "n0:s0", "x": 1, "y": 1}],
+            shards=2, shard_workers=2,
+        )
+        record = client.wait(eco_id, timeout=300)
+        assert record["status"] == "done", record
+        with daemon._sessions_guard:
+            session = daemon.sessions["s2"]
+        assert session.config.shards == 2
+        assert session.config.shard_workers == 2
+
+    def test_failed_eco_does_not_reshard_session(self, daemon):
+        """A failed ECO leaves the session exactly as it was -- including
+        its decomposition: shard overrides of a failing job roll back."""
+        host, port = daemon.address
+        client = ServeClient(host, port)
+        client.wait_until_up()
+        job_id = client.submit_route(chip="c1", net_scale=0.3, rounds=1, session="s3")
+        assert client.wait(job_id, timeout=300)["status"] == "done"
+        eco_id = client.submit_eco(
+            "s3",
+            [{"op": "move_pin", "net": "no_such_net", "pin": "p", "x": 1, "y": 1}],
+            shards=4,
+        )
+        record = client.wait(eco_id, timeout=300)
         assert record["status"] == "failed"
-        assert "unsharded" in record["error"]
+        assert "unknown net" in record["error"]
+        with daemon._sessions_guard:
+            session = daemon.sessions["s3"]
+        assert session.config.shards == 1  # the override rolled back
