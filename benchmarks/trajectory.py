@@ -247,12 +247,81 @@ def scenario_session_eco() -> List[Dict[str, object]]:
     ]
 
 
+def scenario_obs_overhead() -> List[Dict[str, object]]:
+    """Tracing-off vs tracing-on routing of the smoke chip.
+
+    Tracing disabled must stay the zero-cost default: the traced and
+    untraced runs are asserted bit-identical, and the traced/untraced
+    walltime ratio is *tracked* so a regression past the shared +20%
+    tolerance trips the CI gate -- the ratio is measured on one machine
+    within one job, so unlike absolute walltimes it transfers across
+    hosts.  The ratio is floored at 1.0 before tracking so a lucky traced
+    run cannot tighten the gate below "within 20% of untraced".
+    """
+    import tempfile
+
+    from repro import obs
+    from repro.core.cost_distance import CostDistanceSolver
+    from repro.instances.chips import build_chip, smoke_chip
+    from repro.obs.summary import load_trace, summarize
+    from repro.router.metrics import PARITY_FIELDS
+    from repro.router.router import GlobalRouter, GlobalRouterConfig
+
+    graph, netlist = build_chip(smoke_chip(bench_scale()))
+
+    def best_run(trace_path=None):
+        best = None
+        for _ in range(2):
+            if trace_path is not None:
+                obs.configure_tracing(trace_path)
+            started = time.perf_counter()
+            router = GlobalRouter(
+                graph, netlist, CostDistanceSolver(),
+                GlobalRouterConfig(num_rounds=3, shards=2),
+            )
+            result = router.run()
+            walltime = time.perf_counter() - started
+            if trace_path is not None:
+                obs.close_tracing(obs.active_registry().snapshot())
+            if best is None or walltime < best[1]:
+                best = (result, walltime)
+        return best
+
+    plain, plain_time = best_run()
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = os.path.join(tmp, "bench_trace.jsonl")
+        traced, traced_time = best_run(trace_path)
+        summary = summarize(load_trace(trace_path))
+    for field in PARITY_FIELDS:
+        if getattr(plain, field) != getattr(traced, field):
+            raise RuntimeError(f"tracing changed the routing result on {field}")
+    if not summary["complete"]:
+        raise RuntimeError("benchmark trace file is truncated (no trace_end)")
+    overhead = traced_time / plain_time if plain_time > 0 else 1.0
+    tracked = _result_metrics(plain)
+    tracked["trace_overhead_ratio"] = round(max(1.0, overhead), 3)
+    return [
+        {
+            "name": "obs_overhead",
+            "metrics": {
+                "plain_walltime_seconds": round(plain_time, 4),
+                "traced_walltime_seconds": round(traced_time, 4),
+                "trace_overhead_ratio_raw": round(overhead, 3),
+                "trace_spans": summary["spans"],
+                "trace_events": summary["events"],
+            },
+            "tracked": tracked,
+        }
+    ]
+
+
 def run_trajectory() -> Dict[str, object]:
     records: List[Dict[str, object]] = []
     records.extend(scenario_engine_modes())
     records.extend(scenario_serve_throughput())
     records.extend(scenario_shard_scaling())
     records.extend(scenario_session_eco())
+    records.extend(scenario_obs_overhead())
     return {
         "schema": SCHEMA_VERSION,
         "bench_scale": bench_scale(),

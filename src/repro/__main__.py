@@ -161,6 +161,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume from --checkpoint PATH when it exists",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSON-lines trace (round/region/batch spans, per-net "
+            "events, final counters) to PATH; inspect it with "
+            "'python -m repro trace summarize PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="stderr logging level for the repro.* logger tree",
+    )
     return parser
 
 
@@ -170,6 +186,11 @@ def main(argv: Optional[list] = None) -> int:
     if argv and argv[0] == "route":
         # Explicit alias of the flat one-shot flow: `python -m repro route ...`.
         argv = argv[1:]
+    elif argv and argv[0] == "trace":
+        # Trace-file analysis (`python -m repro trace summarize PATH`).
+        from repro.obs.summary import main as trace_main
+
+        return trace_main(argv[1:])
     elif argv and not argv[0].startswith("-"):
         # A word-like first argument may be a service subcommand; the
         # authoritative list lives in serve/cli.py (imported lazily so the
@@ -186,6 +207,15 @@ def main(argv: Optional[list] = None) -> int:
         for row in chip_table():
             print(f"{row['chip']:>4}  nets={row['nets']:<5} layers={row['layers']:<3} grid={row['grid']}")
         return 0
+
+    if args.log_level is not None:
+        from repro import obs
+
+        obs.configure_logging(args.log_level)
+    if args.trace is not None:
+        from repro import obs
+
+        obs.configure_tracing(args.trace)
 
     spec = next(s for s in CHIP_SUITE if s.name == args.chip)
     if args.net_scale != 1.0:
@@ -235,7 +265,13 @@ def main(argv: Optional[list] = None) -> int:
                 file=sys.stderr,
             )
         on_round_end = checkpoint_hook(args.checkpoint)
-    result = router.run(on_round_end=on_round_end)
+    try:
+        result = router.run(on_round_end=on_round_end)
+    finally:
+        if args.trace is not None:
+            from repro import obs
+
+            obs.close_tracing(obs.default_registry().snapshot())
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, default=float))
     else:

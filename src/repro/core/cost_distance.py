@@ -39,6 +39,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.future_cost import FutureCostEstimator
 from repro.core.heap import AddressableBinaryHeap, TwoLevelHeap
@@ -397,6 +398,7 @@ class CostDistanceSolver(SteinerOracle):
         tree_edge_set: Set[int] = set()
         acyclic = _UnionFind()
         num_labels = 0
+        num_pops = 0
         iteration = 0
 
         while active:
@@ -406,6 +408,7 @@ class CostDistanceSolver(SteinerOracle):
                     "all terminals; the routing graph is disconnected"
                 )
             key, tid, item = queue.pop()
+            num_pops += 1
             search = searches.get(tid)
             if search is None:
                 continue
@@ -503,6 +506,12 @@ class CostDistanceSolver(SteinerOracle):
                     queue.push(tid, other, candidate + potential(tid, other))
 
         tree = self._finalize(instance, tree_edges)
+        # Aggregated per-solve increments (not per pop) keep the hot loop
+        # observable without taxing it.
+        obs.inc("astar.pops", num_pops)
+        obs.inc("cd.labels", num_labels)
+        obs.inc("cd.merges", len(merges))
+        obs.inc("cd.solves")
         return CostDistanceResult(tree, merges, iteration, num_labels)
 
     # ----------------------------------------------------------- internals

@@ -11,6 +11,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 import numpy as np
 
+from repro import obs
 from repro.core.heap import AddressableBinaryHeap
 from repro.grid.graph import RoutingGraph
 
@@ -70,8 +71,10 @@ def dijkstra(
             heap.push(node, key)
 
     adjacency = graph.adjacency
+    pops = 0
     while heap:
         _, node = heap.pop()
+        pops += 1
         if node in dist:
             continue
         d_node = tentative[node]
@@ -91,6 +94,8 @@ def dijkstra(
                 parent_edge[other] = edge
                 key = candidate + (future_cost(other) if future_cost else 0.0)
                 heap.push(other, key)
+    # One aggregated increment per search keeps the inner loop counter-free.
+    obs.inc("astar.pops", pops)
     return dist, parent_edge
 
 

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.oracle import SteinerOracle
@@ -221,85 +222,33 @@ class RoutingEngine:
         collected: List[SteinerInstance] = []
         delay = self.graph.delay_array()
         for batch in self._batches:
-            report.num_batches += 1
-            snapshot = self.congestion.snapshot()
-            costs = snapshot.edge_costs(self.prices.edge_prices)
-            # Signature ingredients that are constant across the batch: the
-            # bbox scope folds in the global cost floor, the global scope
-            # the full-vector digest.  Compute each once, not per net.
-            cost_floor = 0.0
-            cost_digest: Optional[bytes] = None
-            if self.cache is not None:
-                if self.cache.scope == "global":
-                    cost_digest = self.cache.global_cost_digest(costs)
-                else:
-                    cost_floor = self.cache.global_cost_floor(costs)
-            tasks: List[NetTask] = []
-            signatures: Dict[int, bytes] = {}
-            for net_index in batch.nets:
-                task = self._make_task(net_index)
-                if record:
-                    collected.append(self._record_instance(task, costs, delay))
+            with obs.span(
+                "batch",
+                round=round_index,
+                batch=report.num_batches,
+                nets=len(batch.nets),
+            ) as batch_span:
+                report.num_batches += 1
+                snapshot = self.congestion.snapshot()
+                costs = snapshot.edge_costs(self.prices.edge_prices)
+                # Signature ingredients that are constant across the batch: the
+                # bbox scope folds in the global cost floor, the global scope
+                # the full-vector digest.  Compute each once, not per net.
+                cost_floor = 0.0
+                cost_digest: Optional[bytes] = None
                 if self.cache is not None:
-                    old_tree = trees[net_index]
-                    sig = self.cache.signature(
-                        net_index,
-                        task.root,
-                        task.sinks,
-                        task.weights,
-                        costs,
-                        self.bifurcation,
-                        tree_edges=old_tree.edges if old_tree is not None else (),
-                        cost_floor=cost_floor,
-                        cost_digest=cost_digest,
-                    )
-                    signatures[net_index] = sig
-                    if log_round is not None:
-                        log_round.signatures[net_index] = sig
-                    if replay_round is not None:
-                        # Replay mode: identical lookup signature means the
-                        # deterministic oracle would reproduce the memoised
-                        # tree, so install it without an oracle call.  The
-                        # memo run's usage is not booked here, so the delta
-                        # is applied like a fresh routing.
-                        memo_tree = replay_round.trees.get(net_index)
-                        if (
-                            memo_tree is not None
-                            and replay_round.signatures.get(net_index) == sig
-                        ):
-                            self.congestion.apply_tree_delta(
-                                old_tree.edges if old_tree is not None else None,
-                                memo_tree.edges,
-                            )
-                            trees[net_index] = memo_tree
-                            report.nets_replayed += 1
-                            continue
-                    elif old_tree is not None and self.cache.is_fresh(net_index, sig):
-                        # Unchanged instance: the oracle would rebuild the
-                        # exact same tree, so keep it (usage already booked).
-                        report.nets_cached += 1
-                        continue
-                tasks.append(task)
-            routed = self.executor.route_batch(costs, tasks) if tasks else {}
-            tasks_by_index = {task.net_index: task for task in tasks}
-            for net_index in batch.nets:
-                new_tree = routed.get(net_index)
-                if new_tree is not None:
-                    old_tree = trees[net_index]
-                    self.congestion.apply_tree_delta(
-                        old_tree.edges if old_tree is not None else None,
-                        new_tree.edges,
-                    )
-                    trees[net_index] = new_tree
-                    report.nets_routed += 1
-                if self.cache is not None and replay_round is None:
-                    sig = signatures[net_index]
-                    if new_tree is not None and self.cache.scope != "global":
-                        # Re-digest under the *new* tree's bounding region so
-                        # the entry can match next round's lookup (which will
-                        # use this tree's edges) without an extra warm-up
-                        # round after every re-route.
-                        task = tasks_by_index[net_index]
+                    if self.cache.scope == "global":
+                        cost_digest = self.cache.global_cost_digest(costs)
+                    else:
+                        cost_floor = self.cache.global_cost_floor(costs)
+                tasks: List[NetTask] = []
+                signatures: Dict[int, bytes] = {}
+                for net_index in batch.nets:
+                    task = self._make_task(net_index)
+                    if record:
+                        collected.append(self._record_instance(task, costs, delay))
+                    if self.cache is not None:
+                        old_tree = trees[net_index]
                         sig = self.cache.signature(
                             net_index,
                             task.root,
@@ -307,13 +256,81 @@ class RoutingEngine:
                             task.weights,
                             costs,
                             self.bifurcation,
-                            tree_edges=new_tree.edges,
+                            tree_edges=old_tree.edges if old_tree is not None else (),
                             cost_floor=cost_floor,
                             cost_digest=cost_digest,
                         )
-                    self.cache.store(net_index, sig)
+                        signatures[net_index] = sig
+                        if log_round is not None:
+                            log_round.signatures[net_index] = sig
+                        if replay_round is not None:
+                            # Replay mode: identical lookup signature means the
+                            # deterministic oracle would reproduce the memoised
+                            # tree, so install it without an oracle call.  The
+                            # memo run's usage is not booked here, so the delta
+                            # is applied like a fresh routing.
+                            memo_tree = replay_round.trees.get(net_index)
+                            if (
+                                memo_tree is not None
+                                and replay_round.signatures.get(net_index) == sig
+                            ):
+                                self.congestion.apply_tree_delta(
+                                    old_tree.edges if old_tree is not None else None,
+                                    memo_tree.edges,
+                                )
+                                trees[net_index] = memo_tree
+                                report.nets_replayed += 1
+                                continue
+                        elif old_tree is not None and self.cache.is_fresh(net_index, sig):
+                            # Unchanged instance: the oracle would rebuild the
+                            # exact same tree, so keep it (usage already booked).
+                            report.nets_cached += 1
+                            continue
+                    tasks.append(task)
+                routed = self.executor.route_batch(costs, tasks) if tasks else {}
+                tasks_by_index = {task.net_index: task for task in tasks}
+                for net_index in batch.nets:
+                    new_tree = routed.get(net_index)
+                    if new_tree is not None:
+                        old_tree = trees[net_index]
+                        self.congestion.apply_tree_delta(
+                            old_tree.edges if old_tree is not None else None,
+                            new_tree.edges,
+                        )
+                        trees[net_index] = new_tree
+                        report.nets_routed += 1
+                    if self.cache is not None and replay_round is None:
+                        sig = signatures[net_index]
+                        if new_tree is not None and self.cache.scope != "global":
+                            # Re-digest under the *new* tree's bounding region so
+                            # the entry can match next round's lookup (which will
+                            # use this tree's edges) without an extra warm-up
+                            # round after every re-route.
+                            task = tasks_by_index[net_index]
+                            sig = self.cache.signature(
+                                net_index,
+                                task.root,
+                                task.sinks,
+                                task.weights,
+                                costs,
+                                self.bifurcation,
+                                tree_edges=new_tree.edges,
+                                cost_floor=cost_floor,
+                                cost_digest=cost_digest,
+                            )
+                        self.cache.store(net_index, sig)
+                batch_span.set(routed=len(routed))
         report.walltime_seconds = time.perf_counter() - started
         self.round_reports.append(report)
+        # Engine counters book into whatever registry is active here: the
+        # process default in serial/seam runs, a worker-local one inside
+        # pooled region workers (shipped back and merged in region order).
+        obs.inc("engine.rounds")
+        obs.inc("engine.batches", report.num_batches)
+        obs.inc("engine.oracle_calls", report.nets_routed)
+        obs.inc("engine.nets_cached", report.nets_cached)
+        obs.inc("engine.nets_replayed", report.nets_replayed)
+        obs.observe("engine.round_seconds", report.walltime_seconds)
         return collected
 
     def scheduled_nets(self) -> List[int]:

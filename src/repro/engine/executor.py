@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import os
 import pickle
-import warnings
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.oracle import SteinerOracle
@@ -74,6 +75,7 @@ def create_worker_pool(
     initargs: Tuple = (),
     prefer: Tuple[str, ...] = ("fork",),
     degrade_message: str = "degrading to in-process execution",
+    backend: str = "process",
 ):
     """Start a ``multiprocessing`` pool, or return ``None`` when this
     environment cannot provide one.
@@ -91,8 +93,9 @@ def create_worker_pool(
       ``sys.path``); callers embedded in multi-threaded processes should
       prefer ``("forkserver", "spawn")``, where ``fork`` is deadlock-prone.
     * When no pool can be started -- sandboxes routinely forbid
-      ``fork``/semaphores -- a single :class:`RuntimeWarning` carries
-      ``degrade_message`` and ``None`` is returned: degradation costs
+      ``fork``/semaphores -- a structured WARNING log record (and trace
+      event) carries ``backend``, ``start_method``, and the failure, plus
+      ``degrade_message``, and ``None`` is returned: degradation costs
       parallelism, never correctness.
     """
     import multiprocessing
@@ -119,11 +122,8 @@ def create_worker_pool(
         # ("daemonic processes are not allowed to have children") -- e.g. a
         # shard child running inside the serve daemon's region pool trying
         # to start its own engine pool.  Degrading is exactly right there.
-        warnings.warn(
-            f"multiprocessing pool unavailable ({exc}); {degrade_message}",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        obs.log_pool_degradation(backend, start_method, exc, degrade_message)
+        obs.inc(f"pool.degraded.{backend}")
         return None
 
 
@@ -207,7 +207,20 @@ class BatchExecutor:
             self.graph, task.payload(costs, self.bifurcation), delay=self._delay
         )
         rng = derive_net_rng_for_name(self.seed, task.rng_name)
-        return self.oracle.build(instance, rng)
+        if obs.get_tracer() is None:
+            return self.oracle.build(instance, rng)
+        # Per-net events exist only under an active tracer; the timing calls
+        # and record writes would otherwise tax the innermost loop for nothing.
+        started = time.perf_counter()
+        tree = self.oracle.build(instance, rng)
+        obs.event(
+            "net",
+            net=task.name or task.rng_name,
+            sinks=len(task.sinks),
+            method=tree.method,
+            seconds=time.perf_counter() - started,
+        )
+        return tree
 
 
 class SerialExecutor(BatchExecutor):
@@ -239,8 +252,14 @@ def _worker_init(payload_bytes: bytes) -> None:
 
 def _route_shard(
     shard: Tuple[np.ndarray, List[NetTask]]
-) -> List[Tuple[int, Tuple[int, ...], Tuple[int, ...], str]]:
-    """Route one shard of a batch inside a worker process."""
+) -> Tuple[List[Tuple[int, Tuple[int, ...], Tuple[int, ...], str]], Dict[str, object]]:
+    """Route one shard of a batch inside a worker process.
+
+    Returns the routed-tree tuples plus the worker's local metrics
+    snapshot (A* pops etc. accumulated by the oracle while routing this
+    shard); the parent merges snapshots in fixed shard order so pooled
+    runs report the same counters as serial ones.
+    """
     costs, tasks = shard
     graph: RoutingGraph = _WORKER_STATE["graph"]
     oracle: SteinerOracle = _WORKER_STATE["oracle"]
@@ -248,13 +267,20 @@ def _route_shard(
     seed: int = _WORKER_STATE["seed"]
     delay: np.ndarray = _WORKER_STATE["delay"]
     results = []
-    for task in tasks:
-        instance = SteinerInstance.from_payload(
-            graph, task.payload(costs, bifurcation), delay=delay
-        )
-        tree = oracle.build(instance, derive_net_rng_for_name(seed, task.rng_name))
-        results.append((task.net_index, tuple(tree.sinks), tuple(tree.edges), tree.method))
-    return results
+    local = obs.MetricsRegistry()
+    previous = obs.swap_registry(local)
+    try:
+        for task in tasks:
+            instance = SteinerInstance.from_payload(
+                graph, task.payload(costs, bifurcation), delay=delay
+            )
+            tree = oracle.build(instance, derive_net_rng_for_name(seed, task.rng_name))
+            results.append(
+                (task.net_index, tuple(tree.sinks), tuple(tree.edges), tree.method)
+            )
+    finally:
+        obs.swap_registry(previous)
+    return results, local.snapshot()
 
 
 class ProcessExecutor(BatchExecutor):
@@ -314,6 +340,7 @@ class ProcessExecutor(BatchExecutor):
                 degrade_message=(
                     "the process backend degrades to in-process serial routing"
                 ),
+                backend=self.backend,
             )
             if self._pool is None:
                 self._pool_unavailable = True
@@ -340,9 +367,13 @@ class ProcessExecutor(BatchExecutor):
         shards = self._shard(list(tasks))
         roots = {task.net_index: task.root for task in tasks}
         trees: Dict[int, EmbeddedTree] = {}
-        for shard_result in pool.map(_route_shard, [(costs, shard) for shard in shards]):
+        for shard_result, worker_metrics in pool.map(
+            _route_shard, [(costs, shard) for shard in shards]
+        ):
             for net_index, sinks, edges, method in shard_result:
                 trees[net_index] = EmbeddedTree(self.graph, roots[net_index], sinks, edges, method)
+            # Fixed shard order keeps the merged counters deterministic.
+            obs.merge_snapshot(worker_metrics)
         return trees
 
     def _shard(self, tasks: List[NetTask]) -> List[List[NetTask]]:

@@ -1,0 +1,65 @@
+"""Observability for the routing stack: tracing, metrics, and logging.
+
+Import this module as ``from repro import obs`` and use:
+
+* ``obs.span("round", round=i)`` / ``obs.event(...)`` — structured tracing
+  (no-ops unless ``--trace PATH`` configured a tracer);
+* ``obs.inc("engine.oracle_calls")`` et al — always-on process-safe
+  metrics, aggregated across pool workers via snapshot shipping;
+* ``obs.configure_logging("debug")`` — stdlib logging for the ``repro.*``
+  logger tree.
+
+See DESIGN.md's "Observability" section for the span taxonomy and the
+metric-ownership rules that keep serial and pooled runs reporting
+identical counters.
+"""
+
+from .logcfg import configure_logging, get_logger, log_pool_degradation
+from .metrics import (
+    MetricsRegistry,
+    active_registry,
+    default_registry,
+    inc,
+    merge_snapshot,
+    observe,
+    set_gauge,
+    swap_registry,
+    use_registry,
+)
+from .trace import (
+    NOOP_SPAN,
+    TRACE_FORMAT,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    close_tracing,
+    configure_tracing,
+    event,
+    get_tracer,
+    span,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "TRACE_FORMAT",
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "close_tracing",
+    "configure_tracing",
+    "event",
+    "get_tracer",
+    "span",
+    "MetricsRegistry",
+    "active_registry",
+    "default_registry",
+    "inc",
+    "merge_snapshot",
+    "observe",
+    "set_gauge",
+    "swap_registry",
+    "use_registry",
+    "configure_logging",
+    "get_logger",
+    "log_pool_degradation",
+]

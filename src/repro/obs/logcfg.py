@@ -1,0 +1,77 @@
+"""Stdlib-logging wiring and structured degradation records.
+
+All loggers in this package hang off the ``repro`` root so one
+:func:`configure_logging` call (the CLI ``--log-level`` flag) controls the
+whole tree.  Propagation stays on so ``caplog``/host applications keep
+seeing records; we only attach our own stream handler once.
+
+:func:`log_pool_degradation` is the single chokepoint for "a worker pool
+could not be created, degrading to serial" — previously a bare
+``warnings.warn``.  It emits a WARNING log record carrying the backend,
+requested start method, and the originating error as structured fields,
+and mirrors the same fields onto the active trace as a ``pool_degraded``
+event so degraded runs are distinguishable in a trace file after the fact.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+from . import trace
+
+__all__ = ["configure_logging", "log_pool_degradation", "get_logger"]
+
+_HANDLER_TAG = "_repro_obs_handler"
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.<name>``)."""
+    return logging.getLogger(name if name.startswith("repro") else f"repro.{name}")
+
+
+def configure_logging(level: str = "info") -> logging.Logger:
+    """Point the ``repro`` logger tree at stderr with the given level."""
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    root = logging.getLogger("repro")
+    root.setLevel(numeric)
+    if not any(getattr(h, _HANDLER_TAG, False) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+    return root
+
+
+def log_pool_degradation(
+    backend: str,
+    start_method: Optional[str],
+    reason: BaseException,
+    action: str,
+) -> None:
+    """Record a worker-pool creation failure as log record + trace event.
+
+    ``action`` finishes the sentence "multiprocessing pool unavailable;
+    ..." — e.g. "engine batches degrade to in-process routing".
+    """
+    logger = logging.getLogger("repro.obs.pool")
+    logger.warning(
+        "multiprocessing pool unavailable (%s); %s "
+        "[backend=%s start_method=%s reason=%s]",
+        reason,
+        action,
+        backend,
+        start_method or "default",
+        type(reason).__name__,
+    )
+    trace.event(
+        "pool_degraded",
+        backend=backend,
+        start_method=start_method or "default",
+        reason=type(reason).__name__,
+        detail=str(reason),
+        action=action,
+    )

@@ -1,0 +1,177 @@
+"""Process-safe metrics registry: counters, gauges, and histograms.
+
+The registry is the *always-on* half of observability: counters are cheap
+enough to increment unconditionally (a dict update under a lock), so hot
+paths record oracle calls, cache hits, and A* pops whether or not a trace
+file is configured.  Tracing (:mod:`repro.obs.trace`) is the opt-in half.
+
+Cross-process aggregation works by *snapshot shipping*, not by shared
+memory: a pool worker swaps in a fresh local registry before routing
+(:func:`swap_registry` / :func:`use_registry`), routes, and attaches
+``registry.snapshot()`` to the result it already sends back (the engine's
+shard result tuple, the shard layer's ``RegionOutcome``).  The parent
+merges the snapshots **in fixed region/shard order** so pooled runs report
+exactly the counters a serial run would — counter merging is integer
+addition and therefore order-independent, but histograms fold min/max/sum
+in a defined order too, keeping the merged snapshot deterministic for the
+deterministic subset of metrics.
+
+Two registries exist per process:
+
+* the *default* registry — the process-lifetime aggregate dumped by the
+  serve ``metrics`` op and appended to a trace file on close;
+* the *active* registry — what :func:`inc` et al write to.  Normally the
+  default one; temporarily a local one inside pool workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "default_registry",
+    "active_registry",
+    "swap_registry",
+    "use_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    "merge_snapshot",
+]
+
+
+class MetricsRegistry:
+    """A thread-safe bag of counters, gauges, and summary histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        # name -> [count, total, min, max]
+        self._hists: Dict[str, list] = {}
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = [1, value, value, value]
+            else:
+                hist[0] += 1
+                hist[1] += value
+                hist[2] = min(hist[2], value)
+                hist[3] = max(hist[3], value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy, safe to pickle across process boundaries."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: {"count": h[0], "total": h[1], "min": h[2], "max": h[3]}
+                    for name, h in self._hists.items()
+                },
+            }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histogram counts/totals add; gauges take the incoming
+        value (last writer wins, which is why callers merge in fixed
+        region order); histogram min/max widen.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = value
+            for name, incoming in snapshot.get("histograms", {}).items():
+                hist = self._hists.get(name)
+                if hist is None:
+                    self._hists[name] = [
+                        incoming["count"],
+                        incoming["total"],
+                        incoming["min"],
+                        incoming["max"],
+                    ]
+                else:
+                    hist[0] += incoming["count"]
+                    hist[1] += incoming["total"]
+                    hist[2] = min(hist[2], incoming["min"])
+                    hist[3] = max(hist[3], incoming["max"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+
+_DEFAULT = MetricsRegistry()
+_ACTIVE = _DEFAULT
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-lifetime aggregate registry."""
+    return _DEFAULT
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry hot-path helpers currently write to."""
+    return _ACTIVE
+
+
+def swap_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` as the active one (``None`` = the default).
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry if registry is not None else _DEFAULT
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the active registry to ``registry`` for the ``with`` body."""
+    previous = swap_registry(registry)
+    try:
+        yield registry
+    finally:
+        swap_registry(previous)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    _ACTIVE.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    _ACTIVE.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    _ACTIVE.observe(name, value)
+
+
+def merge_snapshot(snapshot: Optional[Dict[str, object]]) -> None:
+    """Fold a worker snapshot into the active registry."""
+    if snapshot:
+        _ACTIVE.merge(snapshot)

@@ -1,0 +1,151 @@
+"""Trace-file analysis: ``python -m repro trace summarize PATH``.
+
+Reads a JSON-lines trace written by :mod:`repro.obs.trace`, validates the
+pinned schema version, and renders per-phase time breakdowns (count /
+total / mean / max per span name), the top-k slowest nets (from per-net
+``net`` events, which carry oracle walltimes), and the final counter dump
+when the trace was closed cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .trace import TRACE_FORMAT, TRACE_SCHEMA_VERSION
+
+__all__ = ["load_trace", "summarize", "render", "main"]
+
+
+def load_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a trace file, enforcing the header's format/schema pin."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            records.append(record)
+    if not records or records[0].get("type") != "trace_header":
+        raise ValueError(f"{path}: not a repro trace (missing trace_header)")
+    header = records[0]
+    if header.get("format") != TRACE_FORMAT:
+        raise ValueError(f"{path}: unknown trace format {header.get('format')!r}")
+    if header.get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema {header.get('schema')!r} not supported "
+            f"(reader expects {TRACE_SCHEMA_VERSION})"
+        )
+    return records
+
+
+def summarize(records: Sequence[Dict[str, object]], top: int = 10) -> Dict[str, object]:
+    """Aggregate a parsed trace into phase/net/counter summaries."""
+    phases: Dict[str, Dict[str, float]] = {}
+    nets: List[Dict[str, object]] = []
+    metrics_snapshot: Optional[Dict[str, object]] = None
+    span_count = 0
+    event_count = 0
+    complete = False
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            span_count += 1
+            name = str(record.get("name"))
+            duration = float(record.get("duration", 0.0))
+            phase = phases.setdefault(
+                name, {"count": 0, "total": 0.0, "max": 0.0}
+            )
+            phase["count"] += 1
+            phase["total"] += duration
+            phase["max"] = max(phase["max"], duration)
+        elif kind == "event":
+            event_count += 1
+            if record.get("name") == "net":
+                attrs = record.get("attrs") or {}
+                if "seconds" in attrs:
+                    nets.append(attrs)
+        elif kind == "metrics":
+            metrics_snapshot = record.get("snapshot")
+        elif kind == "trace_end":
+            complete = True
+    for phase in phases.values():
+        phase["mean"] = phase["total"] / phase["count"] if phase["count"] else 0.0
+    nets.sort(key=lambda item: float(item.get("seconds", 0.0)), reverse=True)
+    return {
+        "spans": span_count,
+        "events": event_count,
+        "complete": complete,
+        "phases": phases,
+        "slow_nets": nets[:top],
+        "metrics": metrics_snapshot,
+    }
+
+
+def render(summary: Dict[str, object]) -> str:
+    """Human-readable report for a :func:`summarize` result."""
+    lines: List[str] = []
+    status = "complete" if summary["complete"] else "TRUNCATED (no trace_end)"
+    lines.append(
+        f"trace: {summary['spans']} spans, {summary['events']} events, {status}"
+    )
+    phases: Dict[str, Dict[str, float]] = summary["phases"]  # type: ignore[assignment]
+    if phases:
+        lines.append("")
+        lines.append(f"{'phase':<18} {'count':>7} {'total_s':>10} {'mean_s':>10} {'max_s':>10}")
+        ordered = sorted(phases.items(), key=lambda kv: kv[1]["total"], reverse=True)
+        for name, stats in ordered:
+            lines.append(
+                f"{name:<18} {stats['count']:>7.0f} {stats['total']:>10.4f} "
+                f"{stats['mean']:>10.4f} {stats['max']:>10.4f}"
+            )
+    slow_nets = summary["slow_nets"]
+    if slow_nets:
+        lines.append("")
+        lines.append("slowest nets:")
+        for attrs in slow_nets:
+            lines.append(
+                f"  {attrs.get('net', '?'):<24} {float(attrs.get('seconds', 0.0)):.5f}s"
+                f"  sinks={attrs.get('sinks', '?')}"
+            )
+    metrics = summary.get("metrics")
+    if metrics:
+        counters = metrics.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name} = {counters[name]}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro trace", description="Inspect repro trace files."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_sum = sub.add_parser("summarize", help="Per-phase time breakdown for a trace file.")
+    p_sum.add_argument("path", help="Path to a JSON-lines trace file.")
+    p_sum.add_argument("--top", type=int, default=10, help="How many slow nets to list.")
+    p_sum.add_argument("--json", action="store_true", help="Emit the summary as JSON.")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        parser.exit(2, f"error: {exc}\n")
+    summary = summarize(records, top=args.top)
+    try:
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render(summary))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe early; not an error.
+        pass
+    return 0

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.objective import evaluate_tree
@@ -233,21 +234,33 @@ class GlobalRouter:
                 if replay is not None and round_index < len(replay):
                     replay_round = replay[round_index]
                 log_round = RoundMemo() if record_log else None
-                self._route_round(
-                    round_index,
-                    record=final_round and self.config.record_instances,
-                    replay_round=replay_round,
-                    log_round=log_round,
-                )
-                if log_round is not None:
-                    log_round.trees = {
-                        i: tree for i, tree in enumerate(self.trees) if tree is not None
-                    }
-                    self.replay_log.append(log_round)
-                self.timing_report = self._run_sta()
-                if not final_round:
-                    self.prices.update_edge_prices(self.congestion)
-                    self.prices.update_delay_weights(self.timing_report)
+                with obs.span(
+                    "round", round=round_index, final=final_round
+                ) as round_span:
+                    self._route_round(
+                        round_index,
+                        record=final_round and self.config.record_instances,
+                        replay_round=replay_round,
+                        log_round=log_round,
+                    )
+                    if log_round is not None:
+                        log_round.trees = {
+                            i: tree
+                            for i, tree in enumerate(self.trees)
+                            if tree is not None
+                        }
+                        self.replay_log.append(log_round)
+                    with obs.span("sta", round=round_index):
+                        self.timing_report = self._run_sta()
+                    if not final_round:
+                        with obs.span("price_update", round=round_index):
+                            self.prices.update_edge_prices(self.congestion)
+                            self.prices.update_delay_weights(self.timing_report)
+                    round_span.set(
+                        worst_slack=self.timing_report.worst_slack,
+                        overflow=self.congestion.overflow(),
+                    )
+                obs.inc("router.rounds")
                 self.rounds_completed = round_index + 1
                 if on_round_end is not None:
                     on_round_end(self, round_index)

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.router.router import GlobalRouter
 
 __all__ = [
@@ -179,6 +180,12 @@ def decode_region_signatures(
 
 def save_checkpoint(router: GlobalRouter, path: str) -> None:
     """Write the router's current state to ``path`` (atomic replace)."""
+    with obs.span("checkpoint_save", path=path, round=router.rounds_completed):
+        _save_checkpoint(router, path)
+    obs.inc("checkpoint.saves")
+
+
+def _save_checkpoint(router: GlobalRouter, path: str) -> None:
     state = router.export_state()
     signatures: Optional[Dict[str, str]] = None
     if state["cache_signatures"] is not None:
@@ -221,6 +228,13 @@ def save_checkpoint(router: GlobalRouter, path: str) -> None:
 
 def load_checkpoint(path: str) -> Checkpoint:
     """Read a checkpoint written by :func:`save_checkpoint`."""
+    with obs.span("checkpoint_load", path=path):
+        checkpoint = _load_checkpoint(path)
+    obs.inc("checkpoint.loads")
+    return checkpoint
+
+
+def _load_checkpoint(path: str) -> Checkpoint:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)

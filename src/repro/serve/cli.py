@@ -14,6 +14,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT, ServeDaemon
 from repro.serve.jobs import JobState
@@ -21,7 +22,7 @@ from repro.serve.jobs import JobState
 __all__ = ["SERVE_COMMANDS", "main"]
 
 #: Subcommand names dispatched away from the legacy one-shot CLI.
-SERVE_COMMANDS = ("serve", "submit", "status", "result", "eco", "shutdown")
+SERVE_COMMANDS = ("serve", "submit", "status", "result", "eco", "metrics", "shutdown")
 
 
 def _positive_int(text: str) -> int:
@@ -58,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--state-dir", default=None, help="persist job records under this directory"
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        help="write a daemon-wide JSON-lines trace (spans of every job) to this path",
+    )
+    serve.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="stderr logging level for the repro.* logger tree",
     )
 
     submit = commands.add_parser("submit", help="submit a routing job")
@@ -111,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="open a persistent session under this name (target of later eco jobs)",
     )
+    submit.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "ask the daemon to trace this job to the given path (daemon-side "
+            "file; ignored while a daemon-wide --trace is active)"
+        ),
+    )
     submit.add_argument("--wait", action="store_true", help="block until the job finishes")
     submit.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
 
@@ -157,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     eco.add_argument("--wait", action="store_true", help="block until the job finishes")
     eco.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
 
+    metrics = commands.add_parser(
+        "metrics", help="dump the daemon-wide metrics registry"
+    )
+    _add_endpoint_arguments(metrics)
+
     shutdown = commands.add_parser("shutdown", help="stop the daemon")
     _add_endpoint_arguments(shutdown)
 
@@ -173,6 +198,10 @@ def _finish(job: Dict[str, object]) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.log_level is not None:
+        obs.configure_logging(args.log_level)
+    if args.trace is not None:
+        obs.configure_tracing(args.trace)
     daemon = ServeDaemon(
         host=args.host,
         port=args.port,
@@ -187,6 +216,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("interrupted; shutting down", file=sys.stderr)
     finally:
         daemon.shutdown()
+        if args.trace is not None:
+            obs.close_tracing(obs.default_registry().snapshot())
     return 0
 
 
@@ -204,6 +235,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "cache": args.cache,
         "cache_scope": args.cache_scope,
     }
+    if args.trace is not None:
+        params["trace"] = args.trace
     if args.session:
         # A session with --shards routes through the in-process shard
         # coordinator (memo-capable), not the daemon's fan-out job kind.
@@ -274,6 +307,11 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    _emit(ServeClient(args.host, args.port).metrics())
+    return 0
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     ServeClient(args.host, args.port).shutdown()
     print("daemon stopping", file=sys.stderr)
@@ -286,6 +324,7 @@ _COMMANDS = {
     "status": _cmd_status,
     "result": _cmd_result,
     "eco": _cmd_eco,
+    "metrics": _cmd_metrics,
     "shutdown": _cmd_shutdown,
 }
 

@@ -144,6 +144,10 @@ class ServeClient:
     def jobs(self) -> List[Dict[str, object]]:
         return self.request("jobs")["jobs"]  # type: ignore[return-value]
 
+    def metrics(self) -> Dict[str, object]:
+        """The daemon-wide metrics registry snapshot."""
+        return self.request("metrics")["metrics"]  # type: ignore[return-value]
+
     def sessions(self) -> List[Dict[str, object]]:
         return self.request("sessions")["sessions"]  # type: ignore[return-value]
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine.engine import EngineConfig
 from repro.engine.executor import create_worker_pool
 from repro.grid.congestion import CongestionMap
@@ -314,6 +315,10 @@ class ServeDaemon:
     def _op_jobs(self, request: Dict[str, object]) -> Dict[str, object]:
         return {"ok": True, "jobs": self.store.snapshots(with_result=False)}
 
+    def _op_metrics(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Dump the daemon-wide metrics registry (counters/gauges/histograms)."""
+        return {"ok": True, "metrics": obs.default_registry().snapshot()}
+
     def _op_sessions(self, request: Dict[str, object]) -> Dict[str, object]:
         with self._sessions_guard:
             sessions = [
@@ -341,36 +346,65 @@ class ServeDaemon:
                 raise JobCancelled()
             self.store.mark_running(job_id)
             job = self.store.get(job_id)
-            if job.kind == "route":
-                result = self._run_route(job.params, cancel)
-            elif job.kind == "shard":
-                result = self._run_shard(job.job_id, job.params, cancel)
-            else:
-                result = self._run_eco(job.params, cancel)
+            job_tracer = None
+            trace_path = job.params.get("trace")
+            if trace_path is not None and obs.get_tracer() is None:
+                # Job-scoped tracing (``submit --trace``).  A daemon-wide
+                # tracer (``serve --trace``) takes precedence, and only one
+                # job-scoped trace can be active at a time -- the tracer is
+                # a process-global single-writer.
+                job_tracer = obs.configure_tracing(str(trace_path))
+            try:
+                with obs.span("job", job_id=job_id, kind=job.kind):
+                    if job.kind == "route":
+                        result = self._run_route(job_id, job.params, cancel)
+                    elif job.kind == "shard":
+                        result = self._run_shard(job.job_id, job.params, cancel)
+                    else:
+                        result = self._run_eco(job_id, job.params, cancel)
+            finally:
+                if job_tracer is not None and obs.get_tracer() is job_tracer:
+                    obs.close_tracing(obs.default_registry().snapshot())
             self.store.mark_done(job_id, result)
+            obs.inc("serve.jobs_done")
         except JobCancelled:
             self.store.mark_cancelled(job_id)
+            obs.inc("serve.jobs_cancelled")
         except Exception as exc:
             self.store.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+            obs.inc("serve.jobs_failed")
         finally:
             self._futures.pop(job_id, None)
             self._cancel_flags.pop(job_id, None)
 
-    @staticmethod
-    def _cancel_hook(cancel: threading.Event):
+    def _round_hook(self, job_id: str, cancel: threading.Event):
+        """The per-round callback of an in-daemon routing flow: cooperative
+        cancellation plus live progress into the job store (``status`` then
+        reports round counts while the job runs) and onto the trace."""
+
         def hook(router: GlobalRouter, round_index: int) -> None:
             if cancel.is_set():
                 raise JobCancelled()
+            progress = {
+                "round": round_index + 1,
+                "rounds_total": router.config.num_rounds,
+                "overflow": router.congestion.overflow(),
+            }
+            self.store.update_progress(job_id, progress)
+            obs.event("job_round", job_id=job_id, **progress)
+            obs.inc("serve.rounds")
 
         return hook
 
     def _run_route(
-        self, params: Dict[str, object], cancel: threading.Event
+        self, job_id: str, params: Dict[str, object], cancel: threading.Event
     ) -> Dict[str, object]:
         if params.get("shard_index") is not None:
             # Region child of a shard job (dedicated-thread path); identical
-            # to the pool path modulo the cancellation hook.
-            return _route_shard_child(params, on_round_end=self._cancel_hook(cancel))
+            # to the pool path modulo the cancellation/progress hook.
+            return _route_shard_child(
+                params, on_round_end=self._round_hook(job_id, cancel)
+            )
         spec = _chip_from_params(params)
         graph, netlist = build_chip(spec)
         oracle = make_oracle(str(params.get("oracle", "CD")))
@@ -391,7 +425,7 @@ class ServeDaemon:
                 session = RoutingSession(
                     graph, netlist, oracle, config, name=session_name
                 )
-                result = session.route(on_round_end=self._cancel_hook(cancel))
+                result = session.route(on_round_end=self._round_hook(job_id, cancel))
             except BaseException:
                 with self._sessions_guard:
                     if self.sessions.get(session_name) is None:
@@ -406,7 +440,7 @@ class ServeDaemon:
                 "backend": session.config.engine.backend,
             }
         router = GlobalRouter(graph, netlist, oracle, config)
-        result = router.run(on_round_end=self._cancel_hook(cancel))
+        result = router.run(on_round_end=self._round_hook(job_id, cancel))
         payload: Dict[str, object] = {
             "result": result.as_dict(),
             "session": None,
@@ -515,7 +549,9 @@ class ServeDaemon:
             # nets are priced against the regions' combined usage, exactly
             # like the in-process coordinator's seam pass.
             seam_router.congestion.usage[:] = stitched
-            seam_result = seam_router.run(on_round_end=self._cancel_hook(cancel))
+            seam_result = seam_router.run(
+                on_round_end=self._round_hook(job_id, cancel)
+            )
             final_map = seam_router.congestion
         else:
             final_map = CongestionMap(graph)
@@ -595,6 +631,7 @@ class ServeDaemon:
             min(workers, len(children)),
             prefer=("forkserver", "spawn"),
             degrade_message="shard children fall back to dedicated threads",
+            backend="serve-shard",
         )
         if pool is None:
             return False
@@ -686,7 +723,7 @@ class ServeDaemon:
         )
 
     def _run_eco(
-        self, params: Dict[str, object], cancel: threading.Event
+        self, job_id: str, params: Dict[str, object], cancel: threading.Event
     ) -> Dict[str, object]:
         session_name = str(params.get("session"))
         with self._sessions_guard:
@@ -732,7 +769,9 @@ class ServeDaemon:
                         else None
                     ),
                 )
-                report = session.apply_eco(ops, on_round_end=self._cancel_hook(cancel))
+                report = session.apply_eco(
+                    ops, on_round_end=self._round_hook(job_id, cancel)
+                )
             except BaseException:
                 session.config = previous_config
                 raise

@@ -39,7 +39,15 @@ class JobState:
 
 @dataclass
 class Job:
-    """One submitted routing job."""
+    """One submitted routing job.
+
+    ``started_at``/``finished_at`` are wall-clock stamps (human-readable,
+    comparable across processes); ``duration_seconds`` is measured on the
+    monotonic clock between ``mark_running`` and the terminal transition,
+    so it stays correct across wall-clock adjustments.  ``progress`` is
+    the job's latest live-progress payload (per-round events emitted
+    through the router's ``on_round_end`` hook).
+    """
 
     job_id: str
     kind: str
@@ -48,8 +56,12 @@ class Job:
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    duration_seconds: Optional[float] = None
+    progress: Optional[Dict[str, object]] = None
     result: Optional[Dict[str, object]] = None
     error: Optional[str] = None
+    #: Monotonic mark of ``mark_running`` (process-local; never persisted).
+    started_monotonic: Optional[float] = field(default=None, repr=False, compare=False)
 
     def as_dict(self, with_result: bool = True) -> Dict[str, object]:
         record: Dict[str, object] = {
@@ -60,6 +72,8 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "duration_seconds": self.duration_seconds,
+            "progress": self.progress,
             "error": self.error,
         }
         if with_result:
@@ -76,6 +90,8 @@ class Job:
             submitted_at=float(record.get("submitted_at") or 0.0),  # type: ignore[arg-type]
             started_at=record.get("started_at"),  # type: ignore[arg-type]
             finished_at=record.get("finished_at"),  # type: ignore[arg-type]
+            duration_seconds=record.get("duration_seconds"),  # type: ignore[arg-type]
+            progress=record.get("progress"),  # type: ignore[arg-type]
             result=record.get("result"),  # type: ignore[arg-type]
             error=record.get("error"),  # type: ignore[arg-type]
         )
@@ -113,7 +129,21 @@ class JobStore:
             return job
 
     def mark_running(self, job_id: str) -> None:
-        self._transition(job_id, JobState.RUNNING, started_at=time.time())
+        self._transition(
+            job_id,
+            JobState.RUNNING,
+            started_at=time.time(),
+            started_monotonic=time.perf_counter(),
+        )
+
+    def update_progress(self, job_id: str, progress: Dict[str, object]) -> None:
+        """Record a live-progress payload on a running job.
+
+        Late progress events racing a terminal transition are dropped by
+        ``_transition``'s terminal-state guard, so a finished job's last
+        observed progress stays frozen.
+        """
+        self._transition(job_id, JobState.RUNNING, progress=progress)
 
     def mark_done(self, job_id: str, result: Dict[str, object]) -> None:
         self._transition(
@@ -176,6 +206,8 @@ class JobStore:
             # unlocked reader never sees "done" without its result.
             for name, value in fields.items():
                 setattr(job, name, value)
+            if status in JobState.TERMINAL and job.started_monotonic is not None:
+                job.duration_seconds = time.perf_counter() - job.started_monotonic
             job.status = status
             self._persist(job)
 

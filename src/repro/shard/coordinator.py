@@ -65,6 +65,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.oracle import SteinerOracle
@@ -876,23 +877,25 @@ class ShardCoordinator:
         # Seam super-region scopes (fast path only) run against the live,
         # already-stitched map, one scope after the other.
         for scope in self.seam_scopes:
-            delta = scope.route_round(
-                self, round_index, trees, self.congestion.usage,
-                replay_round=replay_round, log_round=log_round,
-            )
-            self.congestion.usage[scope.edge_to_global] += delta
+            with obs.span("seam_scope", key=scope.key, round=round_index):
+                delta = scope.route_round(
+                    self, round_index, trees, self.congestion.usage,
+                    replay_round=replay_round, log_round=log_round,
+                )
+                self.congestion.usage[scope.edge_to_global] += delta
             if record:
                 collected.extend(
                     self._record_scope(scope, round_costs)  # type: ignore[arg-type]
                 )
         if self.parity:
             self._seam_congestion.restore(snapshot)
-        collected.extend(
-            self.seam_engine.route_round(
-                round_index, trees, record=record,
-                replay_round=replay_round, log_round=log_round,
+        with obs.span("seam", round=round_index, nets=len(self._global_seam)):
+            collected.extend(
+                self.seam_engine.route_round(
+                    round_index, trees, record=record,
+                    replay_round=replay_round, log_round=log_round,
+                )
             )
-        )
         if self.parity:
             self.congestion.usage += self._seam_congestion.delta_since(snapshot)
         self.round_reports.append(

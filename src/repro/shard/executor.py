@@ -42,11 +42,12 @@ from __future__ import annotations
 
 import os
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.tree import EmbeddedTree
 from repro.engine.cache import RoundMemo
 from repro.engine.engine import RoutingEngine
@@ -126,6 +127,9 @@ class RegionOutcome:
     ``(num_batches, nets_routed, nets_cached, nets_replayed)``.
     ``log_signatures`` holds the round's lookup signatures (aligned like
     ``trees``) when the task asked for them with ``capture_log``.
+    ``metrics`` is the worker's local :class:`repro.obs.MetricsRegistry`
+    snapshot for this region round; the parent merges it in fixed region
+    order so pooled runs report the same counters as serial ones.
     """
 
     key: str
@@ -133,6 +137,7 @@ class RegionOutcome:
     delta: np.ndarray
     report: Tuple[int, int, int, int]
     log_signatures: Optional[Tuple[Optional[bytes], ...]] = None
+    metrics: Optional[Dict[str, object]] = None
 
 
 class _TaskPrices:
@@ -272,7 +277,12 @@ def _region_worker_init(payload_bytes: bytes) -> None:
 
 
 def _route_region(task: RegionTask) -> RegionOutcome:
-    """Route one region's round inside a worker process."""
+    """Route one region's round inside a worker process.
+
+    The worker accumulates metrics (engine counters, A* pops) into a
+    fresh local registry and ships its snapshot back on the outcome; the
+    parent merges the snapshots in fixed region order.
+    """
     runner = _REGION_RUNNERS.get(task.key)
     if runner is None:
         runner = _RegionRunner(
@@ -284,7 +294,13 @@ def _route_region(task: RegionTask) -> RegionOutcome:
             _REGION_STATE["threshold"],
         )
         _REGION_RUNNERS[task.key] = runner
-    return runner.route(task)
+    local = obs.MetricsRegistry()
+    previous = obs.swap_registry(local)
+    try:
+        outcome = runner.route(task)
+    finally:
+        obs.swap_registry(previous)
+    return replace(outcome, metrics=local.snapshot())
 
 
 class RegionExecutor:
@@ -339,24 +355,30 @@ class SerialRegionExecutor(RegionExecutor):
         deltas: List[np.ndarray] = []
         reports: List[Tuple[int, int, int, int]] = []
         for region in coordinator.regions:
-            if coordinator.parity:
-                deltas.append(
-                    region.route_round(
-                        coordinator, round_index, trees, snapshot,
-                        replay_round=replay_round, log_round=log_round,
+            with obs.span(
+                "region", key=region.key, round=round_index, backend=self.backend
+            ) as region_span:
+                if coordinator.parity:
+                    deltas.append(
+                        region.route_round(
+                            coordinator, round_index, trees, snapshot,
+                            replay_round=replay_round, log_round=log_round,
+                        )
                     )
-                )
-            else:
-                deltas.append(
-                    region.route_round(
-                        coordinator, round_index, trees, snapshot.usage,
-                        replay_round=replay_round, log_round=log_round,
+                else:
+                    deltas.append(
+                        region.route_round(
+                            coordinator, round_index, trees, snapshot.usage,
+                            replay_round=replay_round, log_round=log_round,
+                        )
                     )
+                last = region.engine.round_reports[-1]
+                reports.append(
+                    (last.num_batches, last.nets_routed, last.nets_cached, last.nets_replayed)
                 )
-            last = region.engine.round_reports[-1]
-            reports.append(
-                (last.num_batches, last.nets_routed, last.nets_cached, last.nets_replayed)
-            )
+                region_span.set(
+                    batches=last.num_batches, nets_routed=last.nets_routed
+                )
         return deltas, reports
 
 
@@ -423,6 +445,7 @@ class ProcessRegionExecutor(RegionExecutor):
                     "region-parallel shard execution degrades to the serial "
                     "region loop"
                 ),
+                backend="region-process",
             )
             if self._pool is None:
                 self._pool_unavailable = True
@@ -464,11 +487,18 @@ class ProcessRegionExecutor(RegionExecutor):
         deltas: List[np.ndarray] = []
         reports: List[Tuple[int, int, int, int]] = []
         # Apply in fixed region order regardless of worker completion order.
+        # The worker-shipped metric snapshots merge in the same order, so
+        # pooled counters land identically to a serial run's.
         for region, outcome in zip(coordinator.regions, outcomes):
-            deltas.append(
-                region.apply_outcome(coordinator, trees, outcome, log_round=log_round)
-            )
-            reports.append(outcome.report)
+            with obs.span(
+                "region", key=region.key, round=round_index, backend=self.backend,
+                batches=outcome.report[0], nets_routed=outcome.report[1],
+            ):
+                deltas.append(
+                    region.apply_outcome(coordinator, trees, outcome, log_round=log_round)
+                )
+                reports.append(outcome.report)
+            obs.merge_snapshot(outcome.metrics)
         return deltas, reports
 
 

@@ -209,8 +209,9 @@ class TestExecutors:
         process.close()
         process.close()
 
-    def test_degrades_to_serial_when_pool_unavailable(self, setup, monkeypatch):
-        """Sandboxed/no-fork environments warn and route in-process."""
+    def test_degrades_to_serial_when_pool_unavailable(self, setup, monkeypatch, caplog):
+        """Sandboxed/no-fork environments log a warning and route in-process."""
+        import logging
         import multiprocessing
 
         graph, tasks, costs = setup
@@ -224,11 +225,20 @@ class TestExecutors:
         with ProcessExecutor(
             graph, CostDistanceSolver(), BifurcationModel(), 0, num_workers=2
         ) as process:
-            with pytest.warns(RuntimeWarning, match="degrades to in-process"):
+            with caplog.at_level(logging.WARNING, logger="repro.obs.pool"):
                 actual = process.route_batch(costs, tasks)
+            degradations = [
+                rec
+                for rec in caplog.records
+                if rec.name == "repro.obs.pool" and "degrades to in-process" in rec.getMessage()
+            ]
+            assert len(degradations) == 1
             assert process._pool is None
-            # The degradation is remembered: no second warning, same trees.
-            again = process.route_batch(costs, tasks)
+            caplog.clear()
+            # The degradation is remembered: no second record, same trees.
+            with caplog.at_level(logging.WARNING, logger="repro.obs.pool"):
+                again = process.route_batch(costs, tasks)
+            assert not [r for r in caplog.records if r.name == "repro.obs.pool"]
         for net_index, tree in expected.items():
             assert actual[net_index].edges == tree.edges
             assert again[net_index].edges == tree.edges

@@ -1,0 +1,370 @@
+"""Observability layer: tracing, metrics registry, progress streaming.
+
+Covers the ``repro.obs`` package end to end: the registry data model,
+the span/tracer lifecycle with its pinned on-disk schema, the
+cross-backend counter-equality contract (serial, region pool, degraded
+fallback all report identical deterministic counters), bit-identity of
+routing results with tracing on versus off, JobStore duration/progress
+bookkeeping, the daemon ``metrics`` op, and the trace-summarize CLI.
+"""
+
+import json
+import logging
+import multiprocessing
+
+import pytest
+
+from repro import obs
+from repro.core.cost_distance import CostDistanceSolver
+from repro.grid.graph import build_grid_graph
+from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
+from repro.obs.summary import load_trace, main as summary_main, render, summarize
+from repro.obs.trace import TRACE_FORMAT, TRACE_SCHEMA_VERSION
+from repro.router.metrics import PARITY_FIELDS
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.daemon import ServeDaemon
+from repro.serve.jobs import JobState, JobStore
+
+#: Counters that must be identical across every execution backend; timing
+#: histograms and walltime-derived values are deliberately excluded.
+DETERMINISTIC_COUNTERS = (
+    "engine.oracle_calls",
+    "engine.nets_cached",
+    "engine.nets_replayed",
+    "astar.pops",
+    "cd.labels",
+    "cd.merges",
+    "cd.solves",
+)
+
+
+def small_design(seed=21, num_nets=14, nx=10, ny=10, layers=4):
+    graph = build_grid_graph(nx, ny, layers)
+    netlist = generate_netlist(
+        graph,
+        NetlistGeneratorConfig(num_nets=num_nets),
+        seed=seed,
+        name=f"obs{seed}",
+    )
+    return graph, netlist
+
+
+def route(graph, netlist, **config):
+    router = GlobalRouter(
+        graph, netlist, CostDistanceSolver(), GlobalRouterConfig(**config)
+    )
+    return router, router.run()
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.set_gauge("g", 2.5)
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 2
+        assert hist["total"] == 4.0
+        assert hist["min"] == 1.0
+        assert hist["max"] == 3.0
+        assert reg.counter("a") == 5
+        assert reg.counter("missing") == 0
+
+    def test_snapshot_is_plain_and_detached(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("a")
+        snap = reg.snapshot()
+        reg.inc("a")
+        assert snap["counters"]["a"] == 1  # not a live view
+        # Must round-trip through JSON (it crosses process boundaries).
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_folds_counters_and_histograms(self):
+        left = obs.MetricsRegistry()
+        right = obs.MetricsRegistry()
+        left.inc("a", 2)
+        right.inc("a", 3)
+        right.inc("b")
+        left.observe("h", 1.0)
+        right.observe("h", 5.0)
+        right.set_gauge("g", 7)
+        left.merge(right.snapshot())
+        snap = left.snapshot()
+        assert snap["counters"] == {"a": 5, "b": 1}
+        assert snap["gauges"]["g"] == 7
+        hist = snap["histograms"]["h"]
+        assert (hist["count"], hist["min"], hist["max"]) == (2, 1.0, 5.0)
+
+    def test_use_registry_scopes_module_level_increments(self):
+        scoped = obs.MetricsRegistry()
+        before = obs.active_registry()
+        with obs.use_registry(scoped):
+            assert obs.active_registry() is scoped
+            obs.inc("scoped.counter")
+        assert obs.active_registry() is before
+        assert scoped.counter("scoped.counter") == 1
+        assert obs.active_registry().counter("scoped.counter") == 0
+
+    def test_reset_clears_everything(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1)
+        reg.observe("h", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestSpans:
+    def test_disabled_tracing_returns_shared_noop_span(self):
+        assert obs.get_tracer() is None
+        a = obs.span("round", round=0)
+        b = obs.span("batch")
+        assert a is obs.NOOP_SPAN
+        assert a is b  # one shared object, zero allocation on the hot path
+        with a as span:
+            span.set(anything="goes")  # must be a cheap no-op
+
+    def test_span_tree_and_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure_tracing(str(path))
+        try:
+            with obs.span("round", round=0):
+                with obs.span("region", key="r0"):
+                    with obs.span("batch", nets=3) as batch:
+                        batch.set(routed=3)
+                obs.event("net", net="n1", seconds=0.25, sinks=2)
+        finally:
+            obs.close_tracing({"counters": {"x": 1}, "gauges": {}, "histograms": {}})
+        records = load_trace(str(path))
+        header = records[0]
+        assert header["format"] == TRACE_FORMAT
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert set(spans) == {"round", "region", "batch"}
+        assert spans["round"]["parent_id"] is None
+        assert spans["region"]["parent_id"] == spans["round"]["span_id"]
+        assert spans["batch"]["parent_id"] == spans["region"]["span_id"]
+        assert spans["batch"]["attrs"] == {"nets": 3, "routed": 3}
+        events = [r for r in records if r["type"] == "event"]
+        assert events[0]["name"] == "net"
+        assert events[0]["parent_id"] == spans["round"]["span_id"]
+        assert records[-1]["type"] == "trace_end"
+        metrics = [r for r in records if r["type"] == "metrics"]
+        assert metrics[0]["snapshot"]["counters"] == {"x": 1}
+
+    def test_close_tracing_is_idempotent(self, tmp_path):
+        obs.configure_tracing(str(tmp_path / "t.jsonl"))
+        obs.close_tracing(None)
+        obs.close_tracing(None)
+        assert obs.get_tracer() is None
+
+
+class TestTracedRouting:
+    def test_traced_sharded_route_reconstructs_span_tree(self, tmp_path):
+        path = tmp_path / "route.jsonl"
+        graph, netlist = small_design()
+        obs.configure_tracing(str(path))
+        try:
+            route(graph, netlist, num_rounds=2, shards=2)
+        finally:
+            obs.close_tracing(obs.active_registry().snapshot())
+        records = load_trace(str(path))
+        spans = [r for r in records if r["type"] == "span"]
+        by_id = {r["span_id"]: r for r in spans}
+        rounds = [r for r in spans if r["name"] == "round"]
+        regions = [r for r in spans if r["name"] == "region"]
+        batches = [r for r in spans if r["name"] == "batch"]
+        assert len(rounds) == 2
+        assert regions and batches
+        for region in regions:
+            assert by_id[region["parent_id"]]["name"] == "round"
+        for batch in batches:
+            assert by_id[batch["parent_id"]]["name"] in ("region", "seam", "seam_scope")
+        assert any(r["name"] == "sta" for r in spans)
+        assert records[-1]["type"] == "trace_end"
+
+    def test_tracing_off_is_bit_identical_to_tracing_on(self, tmp_path):
+        graph, netlist = small_design(seed=33)
+        _, plain = route(graph, netlist, num_rounds=2, shards=2)
+        obs.configure_tracing(str(tmp_path / "t.jsonl"))
+        try:
+            traced_router, traced = route(graph, netlist, num_rounds=2, shards=2)
+        finally:
+            obs.close_tracing(None)
+        for field in PARITY_FIELDS:
+            assert getattr(plain, field) == getattr(traced, field), field
+
+
+class TestCrossBackendCounters:
+    def counters_for(self, run):
+        reg = obs.MetricsRegistry()
+        with obs.use_registry(reg):
+            run()
+        return {name: reg.counter(name) for name in DETERMINISTIC_COUNTERS}
+
+    def test_serial_pooled_and_degraded_report_identical_counters(self, monkeypatch):
+        graph, netlist = small_design(seed=44, num_nets=16)
+
+        serial = self.counters_for(
+            lambda: route(graph, netlist, num_rounds=2, shards=2)
+        )
+        pooled = self.counters_for(
+            lambda: route(graph, netlist, num_rounds=2, shards=2, shard_workers=2)
+        )
+        assert serial == pooled
+        assert serial["engine.oracle_calls"] > 0
+        assert serial["astar.pops"] > 0
+        assert serial["cd.solves"] > 0
+
+        def broken_get_context(*args, **kwargs):
+            raise OSError("no pools here")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken_get_context)
+        degraded = self.counters_for(
+            lambda: route(graph, netlist, num_rounds=2, shards=2, shard_workers=2)
+        )
+        assert serial == degraded
+
+
+class TestJobStoreDurations:
+    def test_duration_and_progress_lifecycle(self):
+        store = JobStore()
+        job = store.submit("route", {"chip": "c1"})
+        assert store.get(job.job_id).duration_seconds is None
+        store.mark_running(job.job_id)
+        store.update_progress(
+            job.job_id, {"round": 1, "rounds_total": 3, "overflow": 0.0}
+        )
+        record = store.snapshot(job.job_id)
+        assert record["status"] == JobState.RUNNING
+        assert record["progress"]["round"] == 1
+        store.mark_done(job.job_id, {"ok": True})
+        done = store.snapshot(job.job_id)
+        assert isinstance(done["duration_seconds"], float)
+        assert done["duration_seconds"] >= 0.0
+        assert done["progress"]["round"] == 1  # last progress is retained
+
+    def test_progress_after_terminal_state_is_dropped(self):
+        store = JobStore()
+        job = store.submit("route", {})
+        store.mark_running(job.job_id)
+        store.mark_cancelled(job.job_id)
+        store.update_progress(job.job_id, {"round": 9})
+        record = store.snapshot(job.job_id)
+        assert record["status"] == JobState.CANCELLED
+        assert record.get("progress") in (None, {})
+
+    def test_duration_round_trips_through_persistence(self, tmp_path):
+        store = JobStore(state_dir=str(tmp_path))
+        job = store.submit("route", {})
+        store.mark_running(job.job_id)
+        store.mark_done(job.job_id, {"ok": True})
+        reloaded = JobStore(state_dir=str(tmp_path))
+        record = reloaded.snapshot(job.job_id)
+        assert isinstance(record["duration_seconds"], float)
+
+
+class TestServeMetricsOp:
+    def test_metrics_op_returns_registry_snapshot(self):
+        daemon = ServeDaemon(port=0, job_workers=1)
+        daemon.start()
+        try:
+            obs.default_registry().inc("test.metrics_op")
+            response = daemon.handle({"op": "metrics"})
+            assert response["ok"] is True
+            snapshot = response["metrics"]
+            assert snapshot["counters"]["test.metrics_op"] >= 1
+        finally:
+            daemon.shutdown()
+
+
+class TestSummarizeCli:
+    def write_trace(self, path):
+        obs.configure_tracing(str(path))
+        try:
+            with obs.span("round", round=0):
+                with obs.span("batch", nets=2):
+                    pass
+                obs.event("net", net="slowpoke", seconds=0.5, sinks=3)
+                obs.event("net", net="quick", seconds=0.1, sinks=1)
+        finally:
+            obs.close_tracing({"counters": {"c": 2}, "gauges": {}, "histograms": {}})
+
+    def test_summarize_and_render(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.write_trace(path)
+        summary = summarize(load_trace(str(path)), top=1)
+        assert summary["complete"] is True
+        assert summary["phases"]["round"]["count"] == 1
+        assert summary["slow_nets"][0]["net"] == "slowpoke"
+        assert len(summary["slow_nets"]) == 1
+        text = render(summary)
+        assert "slowpoke" in text
+        assert "c = 2" in text
+
+    def test_cli_main_text_and_json(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        self.write_trace(path)
+        assert summary_main(["summarize", str(path)]) == 0
+        assert "round" in capsys.readouterr().out
+        assert summary_main(["summarize", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spans"] == 2
+
+    def test_cli_rejects_non_trace_file(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"type": "other"}\n')
+        with pytest.raises(SystemExit):
+            summary_main(["summarize", str(bogus)])
+
+    def test_loader_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {"type": "trace_header", "format": TRACE_FORMAT, "schema": 999}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_trace(str(path))
+
+
+class TestPoolDegradationLogging:
+    def test_degradation_emits_trace_event_and_counter(self, tmp_path, monkeypatch, caplog):
+        graph, netlist = small_design(seed=55)
+
+        def broken_get_context(*args, **kwargs):
+            raise OSError("no pools here")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken_get_context)
+        path = tmp_path / "t.jsonl"
+        reg = obs.MetricsRegistry()
+        obs.configure_tracing(str(path))
+        try:
+            with obs.use_registry(reg):
+                with caplog.at_level(logging.WARNING, logger="repro.obs.pool"):
+                    route(graph, netlist, num_rounds=1, shards=2, shard_workers=2)
+        finally:
+            obs.close_tracing(None)
+        assert reg.counter("pool.degraded.region-process") == 1
+        records = load_trace(str(path))
+        degraded = [
+            r
+            for r in records
+            if r["type"] == "event" and r["name"] == "pool_degraded"
+        ]
+        assert len(degraded) == 1
+        assert degraded[0]["attrs"]["backend"] == "region-process"
+        assert degraded[0]["attrs"]["reason"] == "OSError"
+        assert any(
+            rec.name == "repro.obs.pool" and rec.levelno == logging.WARNING
+            for rec in caplog.records
+        )

@@ -157,8 +157,11 @@ class TestDeterminismBattery:
 
 
 class TestDegradation:
-    def test_degrades_to_serial_loop_when_pool_unavailable(self, monkeypatch):
-        """No multiprocessing -> warn once, route serially, same bits."""
+    def test_degrades_to_serial_loop_when_pool_unavailable(self, monkeypatch, caplog):
+        """No multiprocessing -> one structured log record, route serially,
+        same bits."""
+        import logging
+
         graph, netlist = random_design(11, num_nets=16)
         serial_router, serial = run_router(graph, netlist, num_rounds=2, shards=4)
 
@@ -166,10 +169,18 @@ class TestDegradation:
             raise OSError("no process pools in this sandbox")
 
         monkeypatch.setattr(multiprocessing, "get_context", broken_get_context)
-        with pytest.warns(RuntimeWarning, match="degrades to the serial region loop"):
+        with caplog.at_level(logging.WARNING, logger="repro.obs.pool"):
             degraded_router, degraded = run_router(
                 graph, netlist, num_rounds=2, shards=4, shard_workers=2
             )
+        degradations = [
+            rec
+            for rec in caplog.records
+            if rec.name == "repro.obs.pool"
+            and "degrades to the serial region loop" in rec.getMessage()
+        ]
+        assert len(degradations) == 1
+        assert "backend=region-process" in degradations[0].getMessage()
         executor = degraded_router.engine.region_executor
         assert isinstance(executor, ProcessRegionExecutor)
         assert not executor.pool_used
