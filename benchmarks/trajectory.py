@@ -315,6 +315,79 @@ def scenario_obs_overhead() -> List[Dict[str, object]]:
     ]
 
 
+def scenario_obs_stream_overhead() -> List[Dict[str, object]]:
+    """Watched vs unwatched daemon route jobs.
+
+    Submits the same sharded route job twice through an in-process daemon;
+    one run streams its live events to a ``watch`` subscriber consuming on
+    a second connection, the other runs unobserved.  The two results must
+    be bit-identical (events observe, never feed back), and the
+    watched/unwatched walltime ratio is *tracked* under the shared +20%
+    gate -- like ``trace_overhead_ratio`` it is a one-machine ratio, so it
+    transfers across hosts.  Floored at 1.0 so a lucky watched run cannot
+    tighten the gate.
+    """
+    import threading
+
+    from repro.router.metrics import PARITY_FIELDS, RoutingResult
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ServeDaemon
+
+    params = dict(chip="c1", net_scale=0.4, rounds=3, shards=2)
+    daemon = ServeDaemon(port=0, job_workers=1)
+    host, port = daemon.start()
+    try:
+        client = ServeClient(host, port)
+        client.wait_until_up()
+
+        def best_run(watched):
+            best = None
+            for _ in range(2):
+                started = time.perf_counter()
+                job_id = client.submit_route(**params)
+                events = []
+                if watched:
+                    watcher = threading.Thread(
+                        target=lambda: events.extend(client.watch(job_id, timeout=600))
+                    )
+                    watcher.start()
+                record = client.wait(job_id, timeout=600)
+                if watched:
+                    watcher.join(timeout=600)
+                walltime = time.perf_counter() - started
+                if record["status"] != "done":
+                    raise RuntimeError(f"benchmark job failed: {record}")
+                if watched and not any(e.get("event") == "round" for e in events):
+                    raise RuntimeError("watch stream carried no round events")
+                if best is None or walltime < best[1]:
+                    best = (record, walltime)
+            return best
+
+        plain_record, plain_time = best_run(watched=False)
+        watched_record, watched_time = best_run(watched=True)
+    finally:
+        daemon.shutdown()
+    plain = RoutingResult.from_dict(plain_record["result"]["result"])
+    watched = RoutingResult.from_dict(watched_record["result"]["result"])
+    for field in PARITY_FIELDS:
+        if getattr(plain, field) != getattr(watched, field):
+            raise RuntimeError(f"watching changed the routing result on {field}")
+    ratio = watched_time / plain_time if plain_time > 0 else 1.0
+    tracked = _result_metrics(plain)
+    tracked["obs_stream_overhead_ratio"] = round(max(1.0, ratio), 3)
+    return [
+        {
+            "name": "obs_stream_overhead",
+            "metrics": {
+                "plain_walltime_seconds": round(plain_time, 4),
+                "watched_walltime_seconds": round(watched_time, 4),
+                "obs_stream_overhead_ratio_raw": round(ratio, 3),
+            },
+            "tracked": tracked,
+        }
+    ]
+
+
 def run_trajectory() -> Dict[str, object]:
     records: List[Dict[str, object]] = []
     records.extend(scenario_engine_modes())
@@ -322,6 +395,7 @@ def run_trajectory() -> Dict[str, object]:
     records.extend(scenario_shard_scaling())
     records.extend(scenario_session_eco())
     records.extend(scenario_obs_overhead())
+    records.extend(scenario_obs_stream_overhead())
     return {
         "schema": SCHEMA_VERSION,
         "bench_scale": bench_scale(),

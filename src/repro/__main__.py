@@ -19,6 +19,12 @@ Examples::
     python -m repro submit --chip c8 --shards 4 --wait
     python -m repro eco --session s1 --ops '[{"op": "move_pin", ...}]' --wait
     python -m repro status --all
+    python -m repro watch JOB_ID
+    python -m repro history JOB_ID
+    python -m repro health
+    python -m repro metrics --format prometheus
+    python -m repro trace summarize run.trace
+    python -m repro trace export run.trace --format chrome -o run.json
     python -m repro shutdown
 """
 

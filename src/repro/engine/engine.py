@@ -218,7 +218,7 @@ class RoutingEngine:
         if (replay_round is not None or log_round is not None) and self.cache is None:
             raise ValueError("replay/memo rounds require reroute_cache=True")
         report = RoundReport(round_index=round_index)
-        started = time.perf_counter()
+        started = time.monotonic()
         collected: List[SteinerInstance] = []
         delay = self.graph.delay_array()
         for batch in self._batches:
@@ -320,7 +320,7 @@ class RoutingEngine:
                             )
                         self.cache.store(net_index, sig)
                 batch_span.set(routed=len(routed))
-        report.walltime_seconds = time.perf_counter() - started
+        report.walltime_seconds = time.monotonic() - started
         self.round_reports.append(report)
         # Engine counters book into whatever registry is active here: the
         # process default in serial/seam runs, a worker-local one inside

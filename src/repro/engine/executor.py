@@ -211,14 +211,14 @@ class BatchExecutor:
             return self.oracle.build(instance, rng)
         # Per-net events exist only under an active tracer; the timing calls
         # and record writes would otherwise tax the innermost loop for nothing.
-        started = time.perf_counter()
+        started = time.monotonic()
         tree = self.oracle.build(instance, rng)
         obs.event(
             "net",
             net=task.name or task.rng_name,
             sinks=len(task.sinks),
             method=tree.method,
-            seconds=time.perf_counter() - started,
+            seconds=time.monotonic() - started,
         )
         return tree
 

@@ -1,0 +1,239 @@
+"""In-process pub/sub event bus: the live half of observability.
+
+The :class:`EventBus` fans structured events (plain dicts) out to any
+number of subscribers.  It is built for exactly one situation: a routing
+thread publishing progress while consumers of unknown speed -- ``watch``
+socket handlers, tests, future cluster heartbeats -- read along.  The
+design contract is therefore **publish never blocks**: every subscription
+owns a bounded queue and an over-full queue drops its *oldest* event (the
+newest state is the one a live watcher wants), counting the loss on the
+``bus.dropped`` metric and the subscription's own ``dropped`` counter.  A
+stalled subscriber can lose events; it can never stall routing.
+
+Events are flat JSON-serialisable dicts.  Every published event carries:
+
+* ``schema`` -- the pinned :data:`EVENT_SCHEMA_VERSION`;
+* ``seq`` -- a bus-wide monotonically increasing sequence number
+  (subscribers detect drops by gaps);
+* ``event`` -- the event name (``round``, ``region_done``, ``seam_done``,
+  ``pool_degraded``, ``job_state``);
+* ``time`` -- a wall-clock stamp (display only; durations inside event
+  payloads come from the monotonic clock);
+* any attributes of the ambient :func:`bus_context` of the publishing
+  thread (the serve daemon scopes each job's thread with its ``job_id``),
+  then the publisher's own payload.
+
+Like tracing, the bus is single-process: pool workers never publish (their
+measurements travel back as metric snapshots); the daemon publishes from
+the threads that own its jobs.  A module-global bus slot mirrors the
+tracer (:func:`configure_bus` / :func:`get_bus` / :func:`publish`) so
+deep layers -- the shard coordinator, the pool-degradation logger -- can
+emit events with one global read and zero cost when no bus is installed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from . import metrics as _metrics
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "DEFAULT_QUEUE_DEPTH",
+    "Subscription",
+    "EventBus",
+    "configure_bus",
+    "get_bus",
+    "publish",
+    "bus_context",
+]
+
+#: Pinned event schema version, stamped onto every published event and the
+#: ``watch`` stream's acknowledgement line.  Consumers refuse versions they
+#: do not know rather than mis-parsing.
+EVENT_SCHEMA_VERSION = 1
+
+#: Default per-subscription queue bound.
+DEFAULT_QUEUE_DEPTH = 256
+
+
+class Subscription:
+    """One subscriber's bounded event queue (drop-oldest on overflow)."""
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        maxlen: int,
+        match: Optional[Callable[[Dict[str, object]], bool]] = None,
+    ) -> None:
+        if maxlen < 1:
+            raise ValueError("subscription queue depth must be positive")
+        self._bus = bus
+        self._match = match
+        self.maxlen = maxlen
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        #: Events this subscription lost to its queue bound.
+        self.dropped = 0
+        self.closed = False
+
+    def _offer(self, event: Dict[str, object]) -> None:
+        """Called by the bus from the *publisher's* thread; never blocks.
+
+        A filter exception counts as "no match" -- a broken subscriber
+        predicate must not take the publishing thread down.
+        """
+        if self._match is not None:
+            try:
+                if not self._match(event):
+                    return
+            except Exception:
+                return
+        with self._cond:
+            if self.closed:
+                return
+            if len(self._queue) >= self.maxlen:
+                self._queue.popleft()
+                self.dropped += 1
+                _metrics.inc("bus.dropped")
+            self._queue.append(event)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Dict[str, object]]:
+        """The oldest queued event, or ``None`` after ``timeout`` seconds
+        (``timeout=None`` returns immediately when the queue is empty)."""
+        with self._cond:
+            if not self._queue and timeout is not None and not self.closed:
+                self._cond.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def drain(self) -> List[Dict[str, object]]:
+        """All queued events at once (oldest first)."""
+        with self._cond:
+            events = list(self._queue)
+            self._queue.clear()
+            return events
+
+    def close(self) -> None:
+        """Unsubscribe (idempotent); a blocked :meth:`get` wakes up."""
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Thread-safe fan-out of events to bounded subscriber queues."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subs: List[Subscription] = []
+        self._seq = 0
+        #: Total events published over the bus's lifetime.
+        self.published = 0
+
+    def subscribe(
+        self,
+        maxlen: int = DEFAULT_QUEUE_DEPTH,
+        match: Optional[Callable[[Dict[str, object]], bool]] = None,
+    ) -> Subscription:
+        """A new subscription; ``match`` pre-filters events (evaluated on
+        the publisher's thread, so keep it cheap)."""
+        sub = Subscription(self, maxlen, match)
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+        with sub._cond:
+            sub.closed = True
+            sub._cond.notify_all()
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def publish(self, event: str, **payload: object) -> Dict[str, object]:
+        """Stamp and fan one event out to every subscriber; never blocks.
+
+        The payload wins over the thread's :func:`bus_context` attributes,
+        which win over the stamps -- except ``schema``/``seq``/``event``,
+        which the bus owns.
+        """
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            self.published += 1
+            subs = list(self._subs)
+        record: Dict[str, object] = {"time": time.time()}
+        context = getattr(_CONTEXT, "attrs", None)
+        if context:
+            record.update(context)
+        record.update(payload)
+        record["schema"] = EVENT_SCHEMA_VERSION
+        record["seq"] = seq
+        record["event"] = event
+        for sub in subs:
+            sub._offer(record)
+        return record
+
+
+# --------------------------------------------------------------------------
+# The process-global bus slot (mirrors the tracer): deep layers publish via
+# module-level publish(), which is a no-op single global read when no bus is
+# installed -- the zero-cost-when-disabled contract of the obs package.
+# --------------------------------------------------------------------------
+
+_GLOBAL: Optional[EventBus] = None
+_CONTEXT = threading.local()
+
+
+def configure_bus(bus: Optional[EventBus]) -> Optional[EventBus]:
+    """Install ``bus`` as the process-global one (``None`` uninstalls).
+
+    Returns the previously installed bus.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = bus
+    return previous
+
+
+def get_bus() -> Optional[EventBus]:
+    """The installed global bus, or ``None`` while eventing is disabled."""
+    return _GLOBAL
+
+
+def publish(event: str, **payload: object) -> Optional[Dict[str, object]]:
+    """Publish on the global bus (dropped when no bus is installed)."""
+    bus = _GLOBAL
+    if bus is None:
+        return None
+    return bus.publish(event, **payload)
+
+
+@contextmanager
+def bus_context(**attrs: object) -> Iterator[None]:
+    """Merge ``attrs`` into every event published from this thread.
+
+    The serve daemon wraps each job's execution in
+    ``bus_context(job_id=...)`` so events published by deeper layers (the
+    shard coordinator's ``region_done``/``seam_done``, the pool
+    degradation warning) carry the owning job without threading ids
+    through every call signature.  Contexts nest; inner values shadow.
+    """
+    previous = getattr(_CONTEXT, "attrs", None)
+    merged = dict(previous or {})
+    merged.update(attrs)
+    _CONTEXT.attrs = merged
+    try:
+        yield
+    finally:
+        _CONTEXT.attrs = previous

@@ -1,0 +1,147 @@
+"""Exporters: metrics as Prometheus text, traces as Chrome trace events.
+
+Two one-way bridges out of the repo's own observability formats into
+tooling everyone already runs:
+
+* :func:`render_prometheus` renders a
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot` in the Prometheus
+  text exposition format (version 0.0.4): counters as ``_total``
+  counters, gauges as gauges, histograms as summaries with
+  ``quantile="0.5|0.95|0.99"`` sample lines plus ``_sum``/``_count``.
+  The serve daemon's ``metrics`` op serves it under
+  ``format="prometheus"`` so a scrape job needs nothing but
+  ``python -m repro metrics --format prometheus``.
+
+* :func:`chrome_trace` converts a parsed JSON-lines trace
+  (:func:`repro.obs.summary.load_trace`) into the Chrome trace-event
+  format -- ``span`` records become complete (``"ph": "X"``) events with
+  microsecond timestamps, ``event`` records become thread-scoped instants
+  -- so a routing run opens directly in Perfetto or ``chrome://tracing``.
+  Thread ids are compacted to small integers in first-seen order; traces
+  from before spans carried a ``tid`` collapse onto one track.
+
+Both renderings are deterministic for deterministic inputs (names are
+sorted, ids assigned in first-seen order) so goldens and CI validations
+can compare them textually.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence
+
+__all__ = ["render_prometheus", "chrome_trace"]
+
+#: Characters legal in a Prometheus metric name body.
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Histogram quantile keys rendered as summary quantile labels.
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _metric_name(name: str, prefix: str = "repro_") -> str:
+    """``name`` mangled into a legal Prometheus metric name."""
+    body = _NAME_SANITIZE.sub("_", name)
+    if body and body[0].isdigit():
+        body = "_" + body
+    return prefix + body
+
+
+def _value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: Dict[str, object]) -> str:
+    """A metrics snapshot in the Prometheus text exposition format."""
+    counters: Dict[str, object] = snapshot.get("counters", {})  # type: ignore[assignment]
+    gauges: Dict[str, object] = snapshot.get("gauges", {})  # type: ignore[assignment]
+    histograms: Dict[str, Dict[str, object]] = snapshot.get("histograms", {})  # type: ignore[assignment]
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_value(counters[name])}")
+    for name in sorted(gauges):
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_value(gauges[name])}")
+    for name in sorted(histograms):
+        metric = _metric_name(name)
+        hist = histograms[name]
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            if key in hist:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} {_value(hist[key])}'
+                )
+        lines.append(f"{metric}_sum {_value(hist.get('total', 0.0))}")
+        lines.append(f"{metric}_count {_value(hist.get('count', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+def chrome_trace(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """A parsed repro trace as a Chrome trace-event document.
+
+    Spans map to complete events (``ph: "X"``, wall-clock microsecond
+    ``ts``, monotonic-measured ``dur``); point events map to thread-scoped
+    instants (``ph: "i"``).  The result JSON-dumps directly into a
+    ``.json`` file Perfetto and ``chrome://tracing`` open as-is.
+    """
+    header: Dict[str, object] = {}
+    if records and records[0].get("type") == "trace_header":
+        header = records[0]
+    pid = int(header.get("pid", 0) or 0)
+    tid_map: Dict[object, int] = {}
+
+    def compact_tid(record: Dict[str, object]) -> int:
+        raw = record.get("tid", 0)
+        if raw not in tid_map:
+            tid_map[raw] = len(tid_map) + 1
+        return tid_map[raw]
+
+    events: List[Dict[str, object]] = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            events.append(
+                {
+                    "name": str(record.get("name")),
+                    "cat": "span",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": compact_tid(record),
+                    "ts": float(record.get("start", 0.0)) * 1e6,  # type: ignore[arg-type]
+                    "dur": float(record.get("duration", 0.0)) * 1e6,  # type: ignore[arg-type]
+                    "args": dict(record.get("attrs") or {}),  # type: ignore[arg-type]
+                }
+            )
+        elif kind == "event":
+            events.append(
+                {
+                    "name": str(record.get("name")),
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": compact_tid(record),
+                    "ts": float(record.get("time", 0.0)) * 1e6,  # type: ignore[arg-type]
+                    "args": dict(record.get("attrs") or {}),  # type: ignore[arg-type]
+                }
+            )
+    # Spans are written at *exit*; sorting by start time (longest first on
+    # ties, so parents precede their children) restores the timeline.
+    events.sort(key=lambda e: (e["ts"], -float(e.get("dur", 0.0))))  # type: ignore[arg-type]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": header.get("format"),
+            "schema": header.get("schema"),
+        },
+    }

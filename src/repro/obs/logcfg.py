@@ -18,6 +18,7 @@ from __future__ import annotations
 import logging
 from typing import Optional
 
+from . import bus as _bus
 from . import trace
 
 __all__ = ["configure_logging", "log_pool_degradation", "get_logger"]
@@ -73,5 +74,12 @@ def log_pool_degradation(
         start_method=start_method or "default",
         reason=type(reason).__name__,
         detail=str(reason),
+        action=action,
+    )
+    _bus.publish(
+        "pool_degraded",
+        backend=backend,
+        start_method=start_method or "default",
+        reason=type(reason).__name__,
         action=action,
     )

@@ -26,11 +26,13 @@ Two registries exist per process:
 
 from __future__ import annotations
 
+import math
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = [
+    "SAMPLE_WINDOW",
     "MetricsRegistry",
     "default_registry",
     "active_registry",
@@ -42,6 +44,26 @@ __all__ = [
     "merge_snapshot",
 ]
 
+#: Raw-sample retention window per histogram: quantiles are computed over
+#: the most recent ``SAMPLE_WINDOW`` observations (drop-oldest).  Because
+#: workers ship samples back in their snapshots and parents merge snapshots
+#: in fixed region order, the retained sequence -- and therefore every
+#: quantile -- is identical between serial and pooled runs.
+SAMPLE_WINDOW = 512
+
+_QUANTILE_KEYS = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def _quantiles(samples: List[float]) -> Dict[str, float]:
+    """Deterministic nearest-rank p50/p95/p99 of ``samples``."""
+    ordered = sorted(samples)
+    count = len(ordered)
+    out: Dict[str, float] = {}
+    for key, p in _QUANTILE_KEYS:
+        rank = max(1, math.ceil(p * count))
+        out[key] = ordered[min(rank, count) - 1]
+    return out
+
 
 class MetricsRegistry:
     """A thread-safe bag of counters, gauges, and summary histograms."""
@@ -50,7 +72,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
-        # name -> [count, total, min, max]
+        # name -> [count, total, min, max, recent-samples]
         self._hists: Dict[str, list] = {}
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -65,27 +87,44 @@ class MetricsRegistry:
         with self._lock:
             hist = self._hists.get(name)
             if hist is None:
-                self._hists[name] = [1, value, value, value]
+                self._hists[name] = [1, value, value, value, [value]]
             else:
                 hist[0] += 1
                 hist[1] += value
                 hist[2] = min(hist[2], value)
                 hist[3] = max(hist[3], value)
+                hist[4].append(value)
+                if len(hist[4]) > SAMPLE_WINDOW:
+                    del hist[4][: len(hist[4]) - SAMPLE_WINDOW]
 
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
 
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict copy, safe to pickle across process boundaries."""
+        """A plain-dict copy, safe to pickle across process boundaries.
+
+        Histogram entries carry nearest-rank p50/p95/p99 over the retained
+        sample window plus the raw ``samples`` list itself so that merging
+        snapshots (pool workers -> parent) can recompute quantiles over the
+        combined sequence.
+        """
         with self._lock:
+            histograms: Dict[str, Dict[str, object]] = {}
+            for name, h in self._hists.items():
+                entry: Dict[str, object] = {
+                    "count": h[0],
+                    "total": h[1],
+                    "min": h[2],
+                    "max": h[3],
+                    "samples": list(h[4]),
+                }
+                entry.update(_quantiles(h[4]))
+                histograms[name] = entry
             return {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
-                "histograms": {
-                    name: {"count": h[0], "total": h[1], "min": h[2], "max": h[3]}
-                    for name, h in self._hists.items()
-                },
+                "histograms": histograms,
             }
 
     def merge(self, snapshot: Dict[str, object]) -> None:
@@ -103,6 +142,7 @@ class MetricsRegistry:
             for name, value in snapshot.get("gauges", {}).items():
                 self._gauges[name] = value
             for name, incoming in snapshot.get("histograms", {}).items():
+                samples = list(incoming.get("samples") or [])
                 hist = self._hists.get(name)
                 if hist is None:
                     self._hists[name] = [
@@ -110,12 +150,17 @@ class MetricsRegistry:
                         incoming["total"],
                         incoming["min"],
                         incoming["max"],
+                        samples,
                     ]
+                    hist = self._hists[name]
                 else:
                     hist[0] += incoming["count"]
                     hist[1] += incoming["total"]
                     hist[2] = min(hist[2], incoming["min"])
                     hist[3] = max(hist[3], incoming["max"])
+                    hist[4].extend(samples)
+                if len(hist[4]) > SAMPLE_WINDOW:
+                    del hist[4][: len(hist[4]) - SAMPLE_WINDOW]
 
     def reset(self) -> None:
         with self._lock:

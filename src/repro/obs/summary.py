@@ -1,18 +1,22 @@
-"""Trace-file analysis: ``python -m repro trace summarize PATH``.
+"""Trace-file analysis: ``python -m repro trace summarize|export PATH``.
 
 Reads a JSON-lines trace written by :mod:`repro.obs.trace`, validates the
 pinned schema version, and renders per-phase time breakdowns (count /
 total / mean / max per span name), the top-k slowest nets (from per-net
-``net`` events, which carry oracle walltimes), and the final counter dump
-when the trace was closed cleanly.
+``net`` events, which carry oracle walltimes), and the final counter /
+histogram dump when the trace was closed cleanly.  ``trace export
+--format chrome`` converts the same file into the Chrome trace-event
+format (see :mod:`repro.obs.export`) for Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Dict, List, Optional, Sequence
 
+from .export import chrome_trace
 from .trace import TRACE_FORMAT, TRACE_SCHEMA_VERSION
 
 __all__ = ["load_trace", "summarize", "render", "main"]
@@ -31,7 +35,12 @@ def load_trace(path: str) -> List[Dict[str, object]]:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
             records.append(record)
-    if not records or records[0].get("type") != "trace_header":
+    if not records:
+        # An empty file is a legal (degenerate) trace: the writer may have
+        # been killed before the header flushed.  Summaries render it as
+        # "no spans" rather than refusing.
+        return records
+    if records[0].get("type") != "trace_header":
         raise ValueError(f"{path}: not a repro trace (missing trace_header)")
     header = records[0]
     if header.get("format") != TRACE_FORMAT:
@@ -90,6 +99,9 @@ def summarize(records: Sequence[Dict[str, object]], top: int = 10) -> Dict[str, 
 def render(summary: Dict[str, object]) -> str:
     """Human-readable report for a :func:`summarize` result."""
     lines: List[str] = []
+    if not summary["spans"] and not summary["events"]:
+        lines.append("trace: no spans recorded")
+        return "\n".join(lines)
     status = "complete" if summary["complete"] else "TRUNCATED (no trace_end)"
     lines.append(
         f"trace: {summary['spans']} spans, {summary['events']} events, {status}"
@@ -121,6 +133,24 @@ def render(summary: Dict[str, object]) -> str:
             lines.append("counters:")
             for name in sorted(counters):
                 lines.append(f"  {name} = {counters[name]}")
+        histograms = metrics.get("histograms", {})
+        if histograms:
+            lines.append("")
+            lines.append(
+                f"{'histogram':<24} {'count':>7} {'mean':>10} {'p50':>10} "
+                f"{'p95':>10} {'p99':>10} {'max':>10}"
+            )
+            for name in sorted(histograms):
+                hist = histograms[name]
+                count = float(hist.get("count", 0))
+                mean = float(hist.get("total", 0.0)) / count if count else 0.0
+                lines.append(
+                    f"{name:<24} {count:>7.0f} {mean:>10.5f} "
+                    f"{float(hist.get('p50', 0.0)):>10.5f} "
+                    f"{float(hist.get('p95', 0.0)):>10.5f} "
+                    f"{float(hist.get('p99', 0.0)):>10.5f} "
+                    f"{float(hist.get('max', 0.0)):>10.5f}"
+                )
     return "\n".join(lines)
 
 
@@ -133,14 +163,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_sum.add_argument("path", help="Path to a JSON-lines trace file.")
     p_sum.add_argument("--top", type=int, default=10, help="How many slow nets to list.")
     p_sum.add_argument("--json", action="store_true", help="Emit the summary as JSON.")
+    p_exp = sub.add_parser(
+        "export", help="Convert a trace file for external viewers."
+    )
+    p_exp.add_argument("path", help="Path to a JSON-lines trace file.")
+    p_exp.add_argument(
+        "--format",
+        choices=("chrome",),
+        default="chrome",
+        help="Output format (chrome = Chrome trace-event JSON for Perfetto).",
+    )
+    p_exp.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="Write to this file instead of stdout.",
+    )
     args = parser.parse_args(argv)
 
     try:
         records = load_trace(args.path)
     except (OSError, ValueError) as exc:
         parser.exit(2, f"error: {exc}\n")
-    summary = summarize(records, top=args.top)
     try:
+        if args.command == "export":
+            document = chrome_trace(records)
+            text = json.dumps(document, indent=2, sort_keys=True)
+            if args.output:
+                with open(args.output, "w", encoding="utf-8") as handle:
+                    handle.write(text + "\n")
+                print(
+                    f"wrote {len(document['traceEvents'])} events to {args.output}",
+                    file=sys.stderr,
+                )
+            else:
+                print(text)
+            return 0
+        summary = summarize(records, top=args.top)
         if args.json:
             print(json.dumps(summary, indent=2, sort_keys=True))
         else:

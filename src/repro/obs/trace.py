@@ -85,12 +85,15 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tracer._push(self)
+        # Wall stamp for display/alignment only; the duration below comes
+        # from the monotonic clock so NTP steps can't produce negative or
+        # inflated span times.
         self._wall = time.time()
-        self._started = time.perf_counter()
+        self._started = time.monotonic()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        duration = time.perf_counter() - self._started
+        duration = time.monotonic() - self._started
         self._tracer._pop(self)
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
@@ -102,6 +105,7 @@ class Span:
                 "parent_id": self.parent_id,
                 "start": self._wall,
                 "duration": duration,
+                "tid": threading.get_ident(),
                 "attrs": self.attrs,
             }
         )
@@ -145,6 +149,7 @@ class Tracer:
                 "name": name,
                 "time": time.time(),
                 "parent_id": parent,
+                "tid": threading.get_ident(),
                 "attrs": attrs,
             }
         )

@@ -190,6 +190,10 @@ class GlobalRouter:
         self.trees: List[Optional[EmbeddedTree]] = [None] * netlist.num_nets
         self.collected_instances: List[SteinerInstance] = []
         self.timing_report: Optional[TimingReport] = None
+        #: Per-round telemetry samples (always on; observe-only, so recorded
+        #: and unrecorded runs stay bit-identical).  The serve layer reads
+        #: ``series.latest()`` from its round hook for history/watch.
+        self.series = obs.RoundSeries()
         #: Rounds already routed (and priced).  ``run()`` continues from
         #: here, which is what makes checkpoint/resume work: restoring a
         #: checkpoint sets this counter and ``run()`` picks up mid-flow.
@@ -223,7 +227,7 @@ class GlobalRouter:
             Record this run's per-round memos into :attr:`replay_log`
             (requires the engine's re-route cache).
         """
-        start = time.perf_counter()
+        start = time.monotonic()
         if record_log:
             self.replay_log = []
         try:
@@ -262,6 +266,7 @@ class GlobalRouter:
                     )
                 obs.inc("router.rounds")
                 self.rounds_completed = round_index + 1
+                self.series.record(obs.round_sample(self, round_index))
                 if on_round_end is not None:
                     on_round_end(self, round_index)
         finally:
@@ -270,7 +275,7 @@ class GlobalRouter:
             # Resumed from a checkpoint taken after the final round: the
             # timing report is a pure function of the restored trees.
             self.timing_report = self._run_sta()
-        walltime = time.perf_counter() - start
+        walltime = time.monotonic() - start
         return self._collect_metrics(walltime)
 
     def route_single_net(self, net_index: int) -> EmbeddedTree:

@@ -1,10 +1,12 @@
 """Command-line surface of the routing service.
 
-Implements the ``python -m repro serve|submit|status|result|eco|shutdown``
+Implements the ``python -m repro
+serve|submit|status|result|watch|history|health|eco|metrics|shutdown``
 subcommands on top of :class:`~repro.serve.daemon.ServeDaemon` and
 :class:`~repro.serve.client.ServeClient`.  All query output is JSON on
-stdout (one document per invocation) so shell pipelines and the CI smoke
-job can consume it; progress chatter goes to stderr.
+stdout (one document per invocation; ``watch`` streams one JSON event per
+line) so shell pipelines and the CI smoke job can consume it; progress
+chatter goes to stderr.
 """
 
 from __future__ import annotations
@@ -22,7 +24,18 @@ from repro.serve.jobs import JobState
 __all__ = ["SERVE_COMMANDS", "main"]
 
 #: Subcommand names dispatched away from the legacy one-shot CLI.
-SERVE_COMMANDS = ("serve", "submit", "status", "result", "eco", "metrics", "shutdown")
+SERVE_COMMANDS = (
+    "serve",
+    "submit",
+    "status",
+    "result",
+    "watch",
+    "history",
+    "health",
+    "eco",
+    "metrics",
+    "shutdown",
+)
 
 
 def _positive_int(text: str) -> int:
@@ -145,6 +158,29 @@ def build_parser() -> argparse.ArgumentParser:
     result.add_argument("--wait", action="store_true", help="block until terminal")
     result.add_argument("--timeout", type=float, default=600.0, help="--wait timeout (s)")
 
+    watch = commands.add_parser(
+        "watch", help="stream a job's live events (one JSON line per event)"
+    )
+    _add_endpoint_arguments(watch)
+    watch.add_argument("job_id", help="job id")
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="give up after this many seconds without any event",
+    )
+
+    history = commands.add_parser(
+        "history", help="dump a job's per-round time-series samples"
+    )
+    _add_endpoint_arguments(history)
+    history.add_argument("job_id", help="job id")
+
+    health = commands.add_parser(
+        "health", help="daemon heartbeat: uptime, queue depth, bus state"
+    )
+    _add_endpoint_arguments(health)
+
     eco = commands.add_parser("eco", help="submit an ECO delta against a session")
     _add_endpoint_arguments(eco)
     eco.add_argument("--session", required=True, help="target session name")
@@ -181,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="dump the daemon-wide metrics registry"
     )
     _add_endpoint_arguments(metrics)
+    metrics.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="json (default) or the Prometheus text exposition format",
+    )
 
     shutdown = commands.add_parser("shutdown", help="stop the daemon")
     _add_endpoint_arguments(shutdown)
@@ -307,8 +349,33 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    final_status: Optional[str] = None
+    for event in client.watch(args.job_id, timeout=args.timeout):
+        print(json.dumps(event, default=float), flush=True)
+        if event.get("event") == "job_state":
+            final_status = str(event.get("status"))
+    return 0 if final_status == JobState.DONE else 1
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    _emit(ServeClient(args.host, args.port).history(args.job_id))
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    _emit(ServeClient(args.host, args.port).health())
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    _emit(ServeClient(args.host, args.port).metrics())
+    client = ServeClient(args.host, args.port)
+    if args.format == "prometheus":
+        sys.stdout.write(str(client.metrics(format="prometheus")))
+        sys.stdout.flush()
+    else:
+        _emit(client.metrics())
     return 0
 
 
@@ -323,6 +390,9 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
     "result": _cmd_result,
+    "watch": _cmd_watch,
+    "history": _cmd_history,
+    "health": _cmd_health,
     "eco": _cmd_eco,
     "metrics": _cmd_metrics,
     "shutdown": _cmd_shutdown,

@@ -4,7 +4,9 @@
 writes a single JSON line, and reads a single JSON-line response -- the
 simplest protocol that survives daemon restarts, thread pools, and shell
 pipelines.  All CLI subcommands (``python -m repro submit`` etc.) and the
-CI smoke job are built on it.
+CI smoke job are built on it.  :meth:`ServeClient.watch` is the one
+long-lived exception: it keeps its connection open and yields the job's
+streamed events until the job reaches a terminal state.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from __future__ import annotations
 import json
 import socket
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
 from repro.serve.jobs import JobState
@@ -144,9 +146,67 @@ class ServeClient:
     def jobs(self) -> List[Dict[str, object]]:
         return self.request("jobs")["jobs"]  # type: ignore[return-value]
 
-    def metrics(self) -> Dict[str, object]:
-        """The daemon-wide metrics registry snapshot."""
-        return self.request("metrics")["metrics"]  # type: ignore[return-value]
+    def metrics(self, format: str = "json") -> object:
+        """The daemon-wide metrics registry snapshot.
+
+        ``format="json"`` (default) returns the snapshot dict;
+        ``format="prometheus"`` returns the text-exposition rendering.
+        """
+        if format == "prometheus":
+            return self.request("metrics", format="prometheus")["text"]
+        return self.request("metrics")["metrics"]
+
+    def history(self, job_id: str) -> List[Dict[str, object]]:
+        """The job's per-round time-series samples (oldest first)."""
+        return self.request("history", job_id=job_id)["history"]  # type: ignore[return-value]
+
+    def health(self) -> Dict[str, object]:
+        """The daemon's heartbeat record (uptime, queue depth, bus state)."""
+        return self.request("health")  # type: ignore[return-value]
+
+    def watch(
+        self, job_id: str, timeout: float = 600.0
+    ) -> Iterator[Dict[str, object]]:
+        """Stream a job's live events until it reaches a terminal state.
+
+        Yields each event dict as the daemon publishes it (``round``,
+        ``region_done``, ``seam_done``, ``pool_degraded``, ``job_state``).
+        The stream ends when the daemon closes it -- after a terminal
+        ``job_state`` -- or raises :class:`ServeError` after ``timeout``
+        seconds without a single event line.
+        """
+        message = {"op": "watch", "job_id": job_id}
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=timeout
+            ) as conn:
+                conn.sendall((json.dumps(message) + "\n").encode("utf-8"))
+                with conn.makefile("r", encoding="utf-8") as reader:
+                    ack_line = reader.readline()
+                    if not ack_line:
+                        raise ServeError(
+                            "daemon closed the watch stream without responding"
+                        )
+                    ack = json.loads(ack_line)
+                    if not ack.get("ok"):
+                        raise ServeError(
+                            str(ack.get("error", "daemon refused the watch"))
+                        )
+                    for line in reader:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        yield json.loads(line)
+        except socket.timeout as exc:
+            raise ServeError(
+                f"watch of {job_id} timed out after {timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach routing daemon at {self.host}:{self.port} ({exc})"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"malformed watch event: {exc}") from exc
 
     def sessions(self) -> List[Dict[str, object]]:
         return self.request("sessions")["sessions"]  # type: ignore[return-value]

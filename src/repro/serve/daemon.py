@@ -3,8 +3,14 @@
 :class:`ServeDaemon` multiplexes concurrent routing jobs across engine
 backends.  A ``ThreadingTCPServer`` answers one JSON object per line
 (``submit`` / ``status`` / ``result`` / ``cancel`` / ``jobs`` / ``sessions``
-/ ``ping`` / ``shutdown``); actual routing runs on a small worker pool, so
-slow jobs never block the control plane.  Each job is either a full route
+/ ``history`` / ``health`` / ``metrics`` / ``ping`` / ``shutdown``); actual
+routing runs on a small worker pool, so slow jobs never block the control
+plane.  The one exception to one-line-per-request is ``watch``: it holds
+the connection open and streams JSON-lines events from the daemon's
+:class:`~repro.obs.bus.EventBus` (``round`` / ``region_done`` /
+``seam_done`` / ``pool_degraded`` / ``job_state``) until the watched job
+reaches a terminal state.  Publishing never blocks -- a stalled watcher
+loses events to its bounded queue (``bus.dropped``), never stalls routing.  Each job is either a full route
 (optionally opening a named persistent :class:`~repro.serve.session.RoutingSession`)
 or an ECO delta against an existing session.
 
@@ -149,7 +155,12 @@ def _route_shard_child(
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: any number of JSON-line requests until EOF."""
+    """One connection: any number of JSON-line requests until EOF.
+
+    ``watch`` is the streaming exception: it takes over the connection and
+    writes event lines until the watched job finishes (or the client goes
+    away), then the connection is done.
+    """
 
     def handle(self) -> None:
         daemon: "ServeDaemon" = self.server.daemon_ref  # type: ignore[attr-defined]
@@ -167,6 +178,9 @@ class _Handler(socketserver.StreamRequestHandler):
                 request = json.loads(line.decode("utf-8"))
                 if not isinstance(request, dict):
                     raise ValueError("request must be a JSON object")
+                if request.get("op") == "watch":
+                    daemon.handle_watch(request, self.wfile)
+                    return
                 response = daemon.handle(request)
             except Exception as exc:  # protocol surface: never kill the socket
                 response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
@@ -220,6 +234,16 @@ class ServeDaemon:
         self._server.daemon_ref = self  # type: ignore[attr-defined]
         self._serve_thread: Optional[threading.Thread] = None
         self._closed = False
+        self._started_monotonic = time.monotonic()
+        #: The live event bus ``watch`` connections subscribe to.  Also
+        #: installed as the process-global bus (unless the host application
+        #: already installed one) so deeper layers -- the shard
+        #: coordinator's ``region_done``/``seam_done``, the pool degradation
+        #: warning -- publish onto it via ``obs.publish``.
+        self.bus = obs.EventBus()
+        self._owns_global_bus = obs.get_bus() is None
+        if self._owns_global_bus:
+            obs.configure_bus(self.bus)
 
     # ----------------------------------------------------------- lifecycle
     @property
@@ -252,6 +276,8 @@ class ServeDaemon:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
         self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._owns_global_bus and obs.get_bus() is self.bus:
+            obs.configure_bus(None)
 
     def __enter__(self) -> "ServeDaemon":
         return self
@@ -289,6 +315,7 @@ class ServeDaemon:
             return {"ok": False, "error": "params must be a JSON object"}
         job = self.store.submit(str(kind), params)
         self._cancel_flags[job.job_id] = threading.Event()
+        self._publish_job_state(job.job_id)
         self._futures[job.job_id] = self._pool.submit(self._run_job, job.job_id)
         return {"ok": True, "job_id": job.job_id}
 
@@ -306,6 +333,7 @@ class ServeDaemon:
         future = self._futures.get(job_id)
         if future is not None and future.cancel():
             self.store.mark_cancelled(job_id)
+            self._publish_job_state(job_id)
             return {"ok": True, "status": JobState.CANCELLED}
         flag = self._cancel_flags.get(job_id)
         if flag is not None:
@@ -316,8 +344,53 @@ class ServeDaemon:
         return {"ok": True, "jobs": self.store.snapshots(with_result=False)}
 
     def _op_metrics(self, request: Dict[str, object]) -> Dict[str, object]:
-        """Dump the daemon-wide metrics registry (counters/gauges/histograms)."""
-        return {"ok": True, "metrics": obs.default_registry().snapshot()}
+        """Dump the daemon-wide metrics registry (counters/gauges/histograms).
+
+        ``format: "prometheus"`` returns the same snapshot rendered in the
+        Prometheus text exposition format instead of the raw JSON.
+        """
+        fmt = str(request.get("format") or "json")
+        snapshot = obs.default_registry().snapshot()
+        if fmt == "prometheus":
+            return {
+                "ok": True,
+                "format": "prometheus",
+                "text": obs.render_prometheus(snapshot),
+            }
+        if fmt != "json":
+            return {"ok": False, "error": f"unknown metrics format {fmt!r}"}
+        return {"ok": True, "metrics": snapshot}
+
+    def _op_history(self, request: Dict[str, object]) -> Dict[str, object]:
+        """A job's per-round time-series samples (oldest first)."""
+        job_id = str(request.get("job_id"))
+        return {"ok": True, "job_id": job_id, "history": self.store.history(job_id)}
+
+    def _op_health(self, request: Dict[str, object]) -> Dict[str, object]:
+        """The daemon heartbeat: uptime, queue depth, bus and pool state."""
+        counts = self.store.counts()
+        counters = obs.default_registry().snapshot().get("counters", {})
+        pool_degradations = {
+            name[len("pool.degraded.") :]: value
+            for name, value in counters.items()  # type: ignore[union-attr]
+            if name.startswith("pool.degraded.")
+        }
+        with self._sessions_guard:
+            sessions = sum(1 for s in self.sessions.values() if s is not None)
+        return {
+            "ok": True,
+            "uptime_seconds": round(time.monotonic() - self._started_monotonic, 3),
+            "jobs": counts,
+            "queue_depth": counts.get(JobState.QUEUED, 0),
+            "active_jobs": counts.get(JobState.RUNNING, 0),
+            "sessions": sessions,
+            "watchers": self.bus.subscriber_count,
+            "events_published": self.bus.published,
+            "events_dropped": counters.get("bus.dropped", 0),  # type: ignore[union-attr]
+            "pool_degradations": pool_degradations,
+            "event_schema": obs.EVENT_SCHEMA_VERSION,
+            "trace_schema": obs.TRACE_SCHEMA_VERSION,
+        }
 
     def _op_sessions(self, request: Dict[str, object]) -> Dict[str, object]:
         with self._sessions_guard:
@@ -338,44 +411,143 @@ class ServeDaemon:
         threading.Thread(target=self.shutdown, name="repro-serve-stop").start()
         return {"ok": True, "stopping": True}
 
+    # ------------------------------------------------------------- watching
+    def _publish_job_state(self, job_id: str, **extra: object) -> None:
+        """Publish the job's *current* store state as a ``job_state`` event.
+
+        Reading the status back from the store (instead of trusting the
+        caller) respects the terminal-state guard: a ``mark_done`` racing a
+        cancellation publishes the state that actually stuck.
+        """
+        try:
+            job = self.store.get(job_id)
+        except KeyError:
+            return
+        self.bus.publish("job_state", job_id=job_id, status=job.status, kind=job.kind, **extra)
+
+    def handle_watch(self, request: Dict[str, object], wfile) -> None:
+        """Stream a job's events as JSON lines until it reaches a terminal
+        state (called by the connection handler; owns the connection).
+
+        The subscription is taken out *before* the job's status is read so
+        no event can fall between the snapshot and the stream.  A watcher
+        that stops reading fills its bounded queue and loses oldest events
+        (``bus.dropped``); the publishing side never blocks on it.  Socket
+        writes happen on this handler thread only, so a dead client at most
+        ends this stream.
+        """
+
+        def write_line(record: Dict[str, object]) -> bool:
+            try:
+                wfile.write((json.dumps(record) + "\n").encode("utf-8"))
+                wfile.flush()
+                return True
+            except (OSError, ValueError):
+                return False
+
+        job_id = str(request.get("job_id"))
+        sub = self.bus.subscribe(match=lambda e: e.get("job_id") == job_id)
+        try:
+            try:
+                job = self.store.get(job_id)
+            except KeyError:
+                write_line({"ok": False, "error": f"unknown job {job_id!r}"})
+                return
+            if not write_line(
+                {
+                    "ok": True,
+                    "watching": job_id,
+                    "schema": obs.EVENT_SCHEMA_VERSION,
+                    "status": job.status,
+                }
+            ):
+                return
+            terminal_sent = False
+            while not self._closed:
+                event = sub.get(timeout=0.2)
+                if event is not None:
+                    if not write_line(event):
+                        return
+                    if event.get("event") == "job_state" and (
+                        event.get("status") in JobState.TERMINAL
+                    ):
+                        terminal_sent = True
+                        break
+                    continue
+                # Queue idle: poll the store so a watcher attached after the
+                # job finished (or whose terminal event was dropped) still
+                # terminates with a synthesized job_state line.
+                try:
+                    job = self.store.get(job_id)
+                except KeyError:
+                    break
+                if job.status in JobState.TERMINAL:
+                    for event in sub.drain():
+                        if not write_line(event):
+                            return
+                        if event.get("event") == "job_state" and (
+                            event.get("status") in JobState.TERMINAL
+                        ):
+                            terminal_sent = True
+                    if not terminal_sent:
+                        write_line(
+                            {
+                                "event": "job_state",
+                                "schema": obs.EVENT_SCHEMA_VERSION,
+                                "job_id": job_id,
+                                "status": job.status,
+                                "kind": job.kind,
+                                "time": time.time(),
+                            }
+                        )
+                    break
+        finally:
+            self.bus.unsubscribe(sub)
+
     # ------------------------------------------------------------ job logic
     def _run_job(self, job_id: str) -> None:
         cancel = self._cancel_flags[job_id]
-        try:
-            if cancel.is_set():
-                raise JobCancelled()
-            self.store.mark_running(job_id)
-            job = self.store.get(job_id)
-            job_tracer = None
-            trace_path = job.params.get("trace")
-            if trace_path is not None and obs.get_tracer() is None:
-                # Job-scoped tracing (``submit --trace``).  A daemon-wide
-                # tracer (``serve --trace``) takes precedence, and only one
-                # job-scoped trace can be active at a time -- the tracer is
-                # a process-global single-writer.
-                job_tracer = obs.configure_tracing(str(trace_path))
+        # Every event published from this thread (and anything routing calls
+        # on it: the shard coordinator's region_done/seam_done, the pool
+        # degradation warning) carries the owning job's id.
+        with obs.bus_context(job_id=job_id):
             try:
-                with obs.span("job", job_id=job_id, kind=job.kind):
-                    if job.kind == "route":
-                        result = self._run_route(job_id, job.params, cancel)
-                    elif job.kind == "shard":
-                        result = self._run_shard(job.job_id, job.params, cancel)
-                    else:
-                        result = self._run_eco(job_id, job.params, cancel)
+                if cancel.is_set():
+                    raise JobCancelled()
+                self.store.mark_running(job_id)
+                self._publish_job_state(job_id)
+                job = self.store.get(job_id)
+                job_tracer = None
+                trace_path = job.params.get("trace")
+                if trace_path is not None and obs.get_tracer() is None:
+                    # Job-scoped tracing (``submit --trace``).  A daemon-wide
+                    # tracer (``serve --trace``) takes precedence, and only one
+                    # job-scoped trace can be active at a time -- the tracer is
+                    # a process-global single-writer.
+                    job_tracer = obs.configure_tracing(str(trace_path))
+                try:
+                    with obs.span("job", job_id=job_id, kind=job.kind):
+                        if job.kind == "route":
+                            result = self._run_route(job_id, job.params, cancel)
+                        elif job.kind == "shard":
+                            result = self._run_shard(job.job_id, job.params, cancel)
+                        else:
+                            result = self._run_eco(job_id, job.params, cancel)
+                finally:
+                    if job_tracer is not None and obs.get_tracer() is job_tracer:
+                        obs.close_tracing(obs.default_registry().snapshot())
+                self.store.mark_done(job_id, result)
+                obs.inc("serve.jobs_done")
+            except JobCancelled:
+                self.store.mark_cancelled(job_id)
+                obs.inc("serve.jobs_cancelled")
+            except Exception as exc:
+                self.store.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
+                obs.inc("serve.jobs_failed")
             finally:
-                if job_tracer is not None and obs.get_tracer() is job_tracer:
-                    obs.close_tracing(obs.default_registry().snapshot())
-            self.store.mark_done(job_id, result)
-            obs.inc("serve.jobs_done")
-        except JobCancelled:
-            self.store.mark_cancelled(job_id)
-            obs.inc("serve.jobs_cancelled")
-        except Exception as exc:
-            self.store.mark_failed(job_id, f"{type(exc).__name__}: {exc}")
-            obs.inc("serve.jobs_failed")
-        finally:
-            self._futures.pop(job_id, None)
-            self._cancel_flags.pop(job_id, None)
+                self._publish_job_state(job_id)
+                self._futures.pop(job_id, None)
+                self._cancel_flags.pop(job_id, None)
 
     def _round_hook(self, job_id: str, cancel: threading.Event):
         """The per-round callback of an in-daemon routing flow: cooperative
@@ -391,6 +563,17 @@ class ServeDaemon:
                 "overflow": router.congestion.overflow(),
             }
             self.store.update_progress(job_id, progress)
+            # The router recorded its full round sample just before calling
+            # this hook; copy it into the job's persisted time-series and
+            # stream it to watchers.
+            sample = router.series.latest() or progress
+            self.store.append_history(job_id, sample)
+            self.bus.publish(
+                "round",
+                job_id=job_id,
+                rounds_remaining=router.config.num_rounds - (round_index + 1),
+                **sample,
+            )
             obs.event("job_round", job_id=job_id, **progress)
             obs.inc("serve.rounds")
 
@@ -474,7 +657,7 @@ class ServeDaemon:
         Timing stages crossing region boundaries are relaxed in this path --
         the in-process coordinator (``route --shards K``) keeps them.
         """
-        started = time.perf_counter()
+        started = time.monotonic()
         spec = _chip_from_params(params)
         graph, netlist = build_chip(spec)
         oracle = make_oracle(str(params.get("oracle", "CD")))
@@ -559,7 +742,7 @@ class ServeDaemon:
 
         merged = self._merge_results(
             spec.name, child_results, seam_result, final_map, netlist,
-            time.perf_counter() - started,
+            time.monotonic() - started,
         )
         return {
             "result": merged.as_dict(),

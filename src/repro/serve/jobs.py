@@ -17,7 +17,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["JobState", "Job", "JobStore", "JobCancelled"]
+__all__ = ["HISTORY_LIMIT", "JobState", "Job", "JobStore", "JobCancelled"]
+
+#: Per-job bound on retained round-history samples (drop-oldest), matching
+#: the router's own RoundSeries bound in spirit: generous for real flows,
+#: finite for persistence.
+HISTORY_LIMIT = 256
 
 
 class JobCancelled(Exception):
@@ -46,7 +51,10 @@ class Job:
     monotonic clock between ``mark_running`` and the terminal transition,
     so it stays correct across wall-clock adjustments.  ``progress`` is
     the job's latest live-progress payload (per-round events emitted
-    through the router's ``on_round_end`` hook).
+    through the router's ``on_round_end`` hook); ``history`` is the full
+    per-round time-series of such samples (bounded by
+    :data:`HISTORY_LIMIT`), persisted with the job and served by the
+    ``history`` op.
     """
 
     job_id: str
@@ -60,10 +68,13 @@ class Job:
     progress: Optional[Dict[str, object]] = None
     result: Optional[Dict[str, object]] = None
     error: Optional[str] = None
+    history: List[Dict[str, object]] = field(default_factory=list)
     #: Monotonic mark of ``mark_running`` (process-local; never persisted).
     started_monotonic: Optional[float] = field(default=None, repr=False, compare=False)
 
-    def as_dict(self, with_result: bool = True) -> Dict[str, object]:
+    def as_dict(
+        self, with_result: bool = True, with_history: bool = False
+    ) -> Dict[str, object]:
         record: Dict[str, object] = {
             "job_id": self.job_id,
             "kind": self.kind,
@@ -78,6 +89,8 @@ class Job:
         }
         if with_result:
             record["result"] = self.result
+        if with_history:
+            record["history"] = [dict(sample) for sample in self.history]
         return record
 
     @classmethod
@@ -94,6 +107,7 @@ class Job:
             progress=record.get("progress"),  # type: ignore[arg-type]
             result=record.get("result"),  # type: ignore[arg-type]
             error=record.get("error"),  # type: ignore[arg-type]
+            history=list(record.get("history") or []),  # type: ignore[arg-type]
         )
 
 
@@ -133,7 +147,7 @@ class JobStore:
             job_id,
             JobState.RUNNING,
             started_at=time.time(),
-            started_monotonic=time.perf_counter(),
+            started_monotonic=time.monotonic(),
         )
 
     def update_progress(self, job_id: str, progress: Dict[str, object]) -> None:
@@ -144,6 +158,32 @@ class JobStore:
         observed progress stays frozen.
         """
         self._transition(job_id, JobState.RUNNING, progress=progress)
+
+    def append_history(self, job_id: str, sample: Dict[str, object]) -> None:
+        """Append one per-round sample to a running job's time-series.
+
+        Shares ``_transition``'s terminal guard: samples racing a terminal
+        transition are dropped, and the retained list is bounded at
+        :data:`HISTORY_LIMIT` (drop-oldest).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            if job.status in JobState.TERMINAL:
+                return  # late sample after done/failed/cancelled: dropped
+            job.history.append(dict(sample))
+            if len(job.history) > HISTORY_LIMIT:
+                del job.history[: len(job.history) - HISTORY_LIMIT]
+            self._persist(job)
+
+    def history(self, job_id: str) -> List[Dict[str, object]]:
+        """Detached copies of a job's round samples, oldest first."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job {job_id!r}")
+            return [dict(sample) for sample in job.history]
 
     def mark_done(self, job_id: str, result: Dict[str, object]) -> None:
         self._transition(
@@ -207,7 +247,7 @@ class JobStore:
             for name, value in fields.items():
                 setattr(job, name, value)
             if status in JobState.TERMINAL and job.started_monotonic is not None:
-                job.duration_seconds = time.perf_counter() - job.started_monotonic
+                job.duration_seconds = time.monotonic() - job.started_monotonic
             job.status = status
             self._persist(job)
 
@@ -217,7 +257,7 @@ class JobStore:
         path = os.path.join(self.state_dir, f"{job.job_id}.json")
         tmp_path = path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(job.as_dict(), handle)
+            json.dump(job.as_dict(with_history=True), handle)
         os.replace(tmp_path, path)
 
     def _load_existing(self, state_dir: str) -> None:

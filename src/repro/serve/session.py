@@ -124,6 +124,12 @@ class RoutingSession:
     def num_nets(self) -> int:
         return self.netlist.num_nets
 
+    @property
+    def series(self):
+        """The last flow's per-round time-series (``None`` before the
+        initial route); see :class:`repro.obs.timeseries.RoundSeries`."""
+        return self.router.series if self.router is not None else None
+
     def configure_sharding(
         self,
         shards: Optional[int] = None,

@@ -718,6 +718,11 @@ class ShardCoordinator:
         #: signature store to checkpoint, so this stays ``None``.
         self.cache = None
         self.round_reports: List[RoundReport] = []
+        #: Walltime split of the most recent round (see :meth:`route_round`):
+        #: ``{"regions": {key: seconds}, "interior_seconds", "seam_seconds",
+        #: "overhead_seconds"}``.  Read by ``obs.round_sample`` for the
+        #: router's per-round time-series; empty before the first round.
+        self.last_round_timings: Dict[str, object] = {}
         self._closed = False
         #: Whether the interior pass runs on a process pool; scope engines
         #: are built cache-free in that case (round-stateless workers).
@@ -848,7 +853,7 @@ class ShardCoordinator:
             self.config.reroute_cache
         ):
             raise ValueError("replay/memo rounds require reroute_cache=True")
-        started = time.perf_counter()
+        started = time.monotonic()
         snapshot = self.congestion.snapshot()
         round_costs = snapshot.edge_costs(self.prices.edge_prices) if record else None
         collected: List[SteinerInstance] = []
@@ -859,6 +864,7 @@ class ShardCoordinator:
             self, round_index, trees, snapshot,
             replay_round=replay_round, log_round=log_round,
         )
+        interior_elapsed = time.monotonic() - started
         if record:
             for region in self.regions:
                 collected.extend(
@@ -889,6 +895,7 @@ class ShardCoordinator:
                 )
         if self.parity:
             self._seam_congestion.restore(snapshot)
+        seam_started = time.monotonic()
         with obs.span("seam", round=round_index, nets=len(self._global_seam)):
             collected.extend(
                 self.seam_engine.route_round(
@@ -896,8 +903,37 @@ class ShardCoordinator:
                     replay_round=replay_round, log_round=log_round,
                 )
             )
+        seam_elapsed = time.monotonic() - seam_started
         if self.parity:
             self.congestion.usage += self._seam_congestion.delta_since(snapshot)
+        # Per-round walltime split for the telemetry sample: where the
+        # interior pass's time went per region, the seam pass, and -- for
+        # pooled interior passes -- the pool/IPC overhead (elapsed beyond
+        # the slowest region; for serial passes, beyond the regions' sum).
+        region_seconds = {
+            region.key: float(report[4])
+            for region, report in zip(self.regions, region_reports)
+        }
+        if region_seconds:
+            busy = (
+                max(region_seconds.values())
+                if getattr(self.region_executor, "pool_active", False)
+                else sum(region_seconds.values())
+            )
+        else:
+            busy = 0.0
+        self.last_round_timings = {
+            "regions": region_seconds,
+            "interior_seconds": interior_elapsed,
+            "seam_seconds": seam_elapsed,
+            "overhead_seconds": max(0.0, interior_elapsed - busy),
+        }
+        obs.publish(
+            "seam_done",
+            round=round_index + 1,
+            nets=len(self._global_seam),
+            seconds=round(seam_elapsed, 6),
+        )
         self.round_reports.append(
             self._aggregate_report(round_index, started, region_reports)
         )
@@ -973,12 +1009,12 @@ class ShardCoordinator:
         self,
         round_index: int,
         started: float,
-        region_reports: Sequence[Tuple[int, int, int, int]],
+        region_reports: Sequence[Tuple[int, int, int, int, float]],
     ) -> RoundReport:
         """Fold per-region executor counts and the in-process seam engines'
         last rounds into one coordinator-level report."""
         report = RoundReport(round_index=round_index)
-        for num_batches, nets_routed, nets_cached, nets_replayed in region_reports:
+        for num_batches, nets_routed, nets_cached, nets_replayed, _seconds in region_reports:
             report.num_batches += num_batches
             report.nets_routed += nets_routed
             report.nets_cached += nets_cached
@@ -989,7 +1025,7 @@ class ShardCoordinator:
             report.nets_routed += last.nets_routed
             report.nets_cached += last.nets_cached
             report.nets_replayed += last.nets_replayed
-        report.walltime_seconds = time.perf_counter() - started
+        report.walltime_seconds = time.monotonic() - started
         return report
 
     # ------------------------------------------------------- checkpointing

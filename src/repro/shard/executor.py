@@ -124,7 +124,10 @@ class RegionOutcome:
 
     ``trees`` uses the same alignment as the task's; ``delta`` the same
     edge indexing as the task's ``usage``.  ``report`` is
-    ``(num_batches, nets_routed, nets_cached, nets_replayed)``.
+    ``(num_batches, nets_routed, nets_cached, nets_replayed,
+    walltime_seconds)`` -- the walltime is the worker-side engine's own
+    (monotonic) round time, which is what the coordinator's per-region
+    telemetry reports for pooled rounds.
     ``log_signatures`` holds the round's lookup signatures (aligned like
     ``trees``) when the task asked for them with ``capture_log``.
     ``metrics`` is the worker's local :class:`repro.obs.MetricsRegistry`
@@ -135,7 +138,7 @@ class RegionOutcome:
     key: str
     trees: Tuple[TreeRecord, ...]
     delta: np.ndarray
-    report: Tuple[int, int, int, int]
+    report: Tuple[int, int, int, int, float]
     log_signatures: Optional[Tuple[Optional[bytes], ...]] = None
     metrics: Optional[Dict[str, object]] = None
 
@@ -234,7 +237,7 @@ class _RegionRunner:
             trees=tuple(encode_tree(tree) for tree in routed),
             delta=self.congestion.usage - start,
             report=(last.num_batches, last.nets_routed, last.nets_cached,
-                    last.nets_replayed),
+                    last.nets_replayed, last.walltime_seconds),
             log_signatures=log_signatures,
         )
 
@@ -320,7 +323,7 @@ class RegionExecutor:
         snapshot: CongestionSnapshot,
         replay_round: Optional[RoundMemo] = None,
         log_round: Optional[RoundMemo] = None,
-    ) -> Tuple[List[np.ndarray], List[Tuple[int, int, int, int]]]:
+    ) -> Tuple[List[np.ndarray], List[Tuple[int, int, int, int, float]]]:
         """Route every interior region of one round against ``snapshot``.
 
         Mutates ``trees`` in place and returns ``(deltas, reports)`` aligned
@@ -353,7 +356,7 @@ class SerialRegionExecutor(RegionExecutor):
     def route_round(self, coordinator, round_index, trees, snapshot,
                     replay_round=None, log_round=None):
         deltas: List[np.ndarray] = []
-        reports: List[Tuple[int, int, int, int]] = []
+        reports: List[Tuple[int, int, int, int, float]] = []
         for region in coordinator.regions:
             with obs.span(
                 "region", key=region.key, round=round_index, backend=self.backend
@@ -374,11 +377,20 @@ class SerialRegionExecutor(RegionExecutor):
                     )
                 last = region.engine.round_reports[-1]
                 reports.append(
-                    (last.num_batches, last.nets_routed, last.nets_cached, last.nets_replayed)
+                    (last.num_batches, last.nets_routed, last.nets_cached,
+                     last.nets_replayed, last.walltime_seconds)
                 )
                 region_span.set(
                     batches=last.num_batches, nets_routed=last.nets_routed
                 )
+            obs.publish(
+                "region_done",
+                region=region.key,
+                round=round_index + 1,
+                backend=self.backend,
+                nets_routed=last.nets_routed,
+                seconds=round(float(last.walltime_seconds), 6),
+            )
         return deltas, reports
 
 
@@ -485,7 +497,7 @@ class ProcessRegionExecutor(RegionExecutor):
         ]
         outcomes = pool.map(_route_region, tasks)
         deltas: List[np.ndarray] = []
-        reports: List[Tuple[int, int, int, int]] = []
+        reports: List[Tuple[int, int, int, int, float]] = []
         # Apply in fixed region order regardless of worker completion order.
         # The worker-shipped metric snapshots merge in the same order, so
         # pooled counters land identically to a serial run's.
@@ -499,6 +511,14 @@ class ProcessRegionExecutor(RegionExecutor):
                 )
                 reports.append(outcome.report)
             obs.merge_snapshot(outcome.metrics)
+            obs.publish(
+                "region_done",
+                region=region.key,
+                round=round_index + 1,
+                backend=self.backend,
+                nets_routed=outcome.report[1],
+                seconds=round(float(outcome.report[4]), 6),
+            )
         return deltas, reports
 
 

@@ -1,16 +1,21 @@
-"""Observability layer: tracing, metrics registry, progress streaming.
+"""Observability layer: tracing, metrics registry, live telemetry.
 
-Covers the ``repro.obs`` package end to end: the registry data model,
-the span/tracer lifecycle with its pinned on-disk schema, the
-cross-backend counter-equality contract (serial, region pool, degraded
-fallback all report identical deterministic counters), bit-identity of
-routing results with tracing on versus off, JobStore duration/progress
-bookkeeping, the daemon ``metrics`` op, and the trace-summarize CLI.
+Covers the ``repro.obs`` package end to end: the registry data model
+(including quantile summaries), the span/tracer lifecycle with its
+pinned on-disk schema, the cross-backend counter-equality contract
+(serial, region pool, degraded fallback all report identical
+deterministic counters), bit-identity of routing results with tracing
+on versus off, the per-round :class:`RoundSeries`, the :class:`EventBus`
+back-pressure contract, JobStore duration/progress/history bookkeeping,
+the daemon ``metrics``/``history``/``health``/``watch`` ops, the
+Prometheus and Chrome-trace exporters, and the trace-summarize CLI.
 """
 
 import json
 import logging
 import multiprocessing
+import re
+import threading
 
 import pytest
 
@@ -20,10 +25,11 @@ from repro.grid.graph import build_grid_graph
 from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
 from repro.obs.summary import load_trace, main as summary_main, render, summarize
 from repro.obs.trace import TRACE_FORMAT, TRACE_SCHEMA_VERSION
-from repro.router.metrics import PARITY_FIELDS
+from repro.router.metrics import PARITY_FIELDS, RoutingResult
 from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import ServeDaemon
-from repro.serve.jobs import JobState, JobStore
+from repro.serve.jobs import HISTORY_LIMIT, JobState, JobStore
 
 #: Counters that must be identical across every execution backend; timing
 #: histograms and walltime-derived values are deliberately excluded.
@@ -368,3 +374,442 @@ class TestPoolDegradationLogging:
             rec.name == "repro.obs.pool" and rec.levelno == logging.WARNING
             for rec in caplog.records
         )
+
+class TestQuantiles:
+    def test_nearest_rank_exactness(self):
+        reg = obs.MetricsRegistry()
+        for value in range(1, 11):
+            reg.observe("h", float(value))
+        hist = reg.snapshot()["histograms"]["h"]
+        # Nearest-rank over n=10: p50 -> rank 5, p95/p99 -> rank 10.
+        assert hist["p50"] == 5.0
+        assert hist["p95"] == 10.0
+        assert hist["p99"] == 10.0
+        assert hist["samples"] == [float(v) for v in range(1, 11)]
+
+    def test_merge_recomputes_quantiles_from_samples(self):
+        whole = obs.MetricsRegistry()
+        left = obs.MetricsRegistry()
+        right = obs.MetricsRegistry()
+        values = [0.5, 9.0, 2.0, 7.5, 1.0, 3.25, 8.0, 4.0]
+        for value in values:
+            whole.observe("h", value)
+        for value in values[:4]:
+            left.observe("h", value)
+        for value in values[4:]:
+            right.observe("h", value)
+        merged = obs.MetricsRegistry()
+        merged.merge(left.snapshot())
+        merged.merge(right.snapshot())
+        assert merged.snapshot()["histograms"]["h"] == whole.snapshot()["histograms"]["h"]
+
+    def test_merge_tolerates_old_snapshot_without_samples(self):
+        # PR-6-era snapshots had no "samples"/"p50" keys; counts and
+        # extrema must still fold in.
+        reg = obs.MetricsRegistry()
+        reg.observe("h", 2.0)
+        reg.merge(
+            {
+                "counters": {},
+                "gauges": {},
+                "histograms": {"h": {"count": 3, "total": 12.0, "min": 1.0, "max": 9.0}},
+            }
+        )
+        hist = reg.snapshot()["histograms"]["h"]
+        assert (hist["count"], hist["min"], hist["max"]) == (4, 1.0, 9.0)
+        assert hist["p50"] == 2.0  # quantiles come from the surviving samples
+
+    def test_sample_window_is_bounded_drop_oldest(self):
+        reg = obs.MetricsRegistry()
+        for value in range(obs.SAMPLE_WINDOW + 100):
+            reg.observe("h", float(value))
+        hist = reg.snapshot()["histograms"]["h"]
+        assert hist["count"] == obs.SAMPLE_WINDOW + 100  # lifetime count survives
+        assert len(hist["samples"]) == obs.SAMPLE_WINDOW
+        assert hist["samples"][0] == 100.0  # oldest dropped
+        assert hist["min"] == 0.0  # extrema keep the full history
+
+
+class TestRoundSeries:
+    def test_bound_drops_oldest_and_counts_lifetime(self):
+        series = obs.RoundSeries(maxlen=3)
+        for i in range(5):
+            series.record({"round": i + 1})
+        assert len(series) == 3
+        assert series.total_recorded == 5
+        assert [s["round"] for s in series.samples()] == [3, 4, 5]
+        assert series.latest()["round"] == 5
+        series.clear()
+        assert len(series) == 0 and series.latest() is None
+        assert series.total_recorded == 5
+
+    def test_samples_are_detached_and_monotonic_stamped(self):
+        series = obs.RoundSeries()
+        recorded = series.record({"round": 1})
+        assert recorded["t"] >= 0.0
+        series.samples()[0]["round"] = 99
+        assert series.latest()["round"] == 1
+
+    def test_rejects_nonpositive_maxlen(self):
+        with pytest.raises(ValueError):
+            obs.RoundSeries(maxlen=0)
+
+    def test_router_populates_series_per_round(self):
+        graph, netlist = small_design(seed=61)
+        router, result = route(graph, netlist, num_rounds=2, shards=2)
+        samples = router.series.samples()
+        assert [s["round"] for s in samples] == [1, 2]
+        last = samples[-1]
+        assert last["rounds_total"] == 2
+        assert last["overflow"] == result.overflow
+        assert last["oracle_calls"] > 0
+        assert last["cost"] > 0.0
+        # Sharded flow: the per-region walltime split is populated.
+        assert len(last["region_seconds"]) == 2
+        assert last["seam_seconds"] >= 0.0
+        assert last["overhead_seconds"] >= 0.0
+        # Samples must persist as JSON (they land in job records).
+        assert json.loads(json.dumps(samples)) == samples
+
+    def test_unsharded_flow_has_empty_region_split(self):
+        graph, netlist = small_design(seed=62)
+        router, _ = route(graph, netlist, num_rounds=1)
+        sample = router.series.latest()
+        assert sample["region_seconds"] == {}
+        assert sample["seam_seconds"] == 0.0
+
+
+class TestEventBus:
+    def test_events_arrive_in_order_with_bus_stamps(self):
+        bus = obs.EventBus()
+        sub = bus.subscribe()
+        bus.publish("round", round=1)
+        bus.publish("round", round=2)
+        events = sub.drain()
+        assert [e["round"] for e in events] == [1, 2]
+        assert [e["seq"] for e in events] == [1, 2]
+        assert all(e["schema"] == obs.EVENT_SCHEMA_VERSION for e in events)
+        assert all(e["event"] == "round" for e in events)
+        assert all("time" in e for e in events)
+        assert bus.published == 2
+
+    def test_bus_owns_schema_seq_event_keys(self):
+        bus = obs.EventBus()
+        sub = bus.subscribe()
+        bus.publish("round", schema=999, seq=-1)
+        event = sub.get()
+        assert event["schema"] == obs.EVENT_SCHEMA_VERSION
+        assert event["seq"] == 1
+
+    def test_overfull_queue_drops_oldest_and_counts(self):
+        reg = obs.MetricsRegistry()
+        bus = obs.EventBus()
+        sub = bus.subscribe(maxlen=2)
+        with obs.use_registry(reg):
+            for i in range(5):
+                bus.publish("round", round=i)
+        assert sub.dropped == 3
+        assert reg.counter("bus.dropped") == 3
+        assert [e["round"] for e in sub.drain()] == [3, 4]  # newest retained
+
+    def test_match_filter_and_broken_filter_are_safe(self):
+        bus = obs.EventBus()
+        matching = bus.subscribe(match=lambda e: e.get("job_id") == "job-1")
+        broken = bus.subscribe(match=lambda e: e["missing"])  # raises KeyError
+        bus.publish("round", job_id="job-1")
+        bus.publish("round", job_id="job-2")
+        assert [e["job_id"] for e in matching.drain()] == ["job-1"]
+        assert broken.drain() == []  # filter exception counts as no match
+
+    def test_unsubscribe_wakes_blocked_get(self):
+        bus = obs.EventBus()
+        sub = bus.subscribe()
+        results = []
+        waiter = threading.Thread(target=lambda: results.append(sub.get(timeout=10.0)))
+        waiter.start()
+        sub.close()
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results == [None]
+        assert bus.subscriber_count == 0
+
+    def test_bus_context_nests_and_payload_wins(self):
+        bus = obs.EventBus()
+        sub = bus.subscribe()
+        with obs.bus_context(job_id="outer", extra="kept"):
+            with obs.bus_context(job_id="inner"):
+                bus.publish("round")
+                bus.publish("round", job_id="payload")
+            bus.publish("round")
+        events = sub.drain()
+        assert [e.get("job_id") for e in events] == ["inner", "payload", "outer"]
+        assert all(e["extra"] == "kept" for e in events)
+
+    def test_global_slot_is_noop_when_empty(self):
+        assert obs.get_bus() is None
+        assert obs.publish("round", round=1) is None
+        bus = obs.EventBus()
+        previous = obs.configure_bus(bus)
+        try:
+            assert previous is None
+            sub = bus.subscribe()
+            obs.publish("round", round=2)
+            assert sub.get()["round"] == 2
+        finally:
+            obs.configure_bus(None)
+
+
+class TestPrometheusExport:
+    def test_renders_valid_exposition_text(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("engine.oracle_calls", 7)
+        reg.set_gauge("queue.depth", 2.5)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            reg.observe("round.seconds", value)
+        text = obs.render_prometheus(reg.snapshot())
+        assert text.endswith("\n")
+        assert "repro_engine_oracle_calls_total 7" in text
+        assert "# TYPE repro_engine_oracle_calls_total counter" in text
+        assert "repro_queue_depth 2.5" in text
+        assert "# TYPE repro_round_seconds summary" in text
+        assert 'repro_round_seconds{quantile="0.5"} 2' in text
+        assert 'repro_round_seconds{quantile="0.99"} 4' in text
+        assert "repro_round_seconds_sum 10" in text
+        assert "repro_round_seconds_count 4" in text
+        # Every non-comment line is `name[{labels}] value`.
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+$"
+        )
+        for line in text.rstrip("\n").splitlines():
+            if not line.startswith("#"):
+                assert sample.match(line), line
+
+    def test_names_are_sanitized(self):
+        text = obs.render_prometheus(
+            {"counters": {"pool.degraded.region-process": 1}, "gauges": {}, "histograms": {}}
+        )
+        assert "repro_pool_degraded_region_process_total 1" in text
+
+    def test_daemon_metrics_op_serves_prometheus(self):
+        with ServeDaemon(port=0, job_workers=1) as daemon:
+            daemon.start()
+            obs.default_registry().inc("test.prometheus_op")
+            response = daemon.handle({"op": "metrics", "format": "prometheus"})
+            assert response["ok"] is True and response["format"] == "prometheus"
+            assert "repro_test_prometheus_op_total" in response["text"]
+            bad = daemon.handle({"op": "metrics", "format": "xml"})
+            assert bad["ok"] is False
+
+
+class TestChromeTraceExport:
+    def write_trace(self, path):
+        obs.configure_tracing(str(path))
+        try:
+            with obs.span("round", round=0):
+                with obs.span("batch", nets=2):
+                    pass
+                obs.event("net", net="n1", seconds=0.25, sinks=2)
+        finally:
+            obs.close_tracing(None)
+
+    def test_spans_and_events_convert(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self.write_trace(path)
+        document = obs.chrome_trace(load_trace(str(path)))
+        events = document["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in spans} == {"round", "batch"}
+        assert [e["name"] for e in instants] == ["net"]
+        assert instants[0]["s"] == "t"
+        # Timestamps are wall-clock microseconds; tids are compacted.
+        assert all(e["ts"] > 1e15 for e in events)
+        assert all(e["tid"] == 1 for e in events)  # single-threaded trace
+        # Parents sort before children (same-ts ties break on duration).
+        assert events == sorted(
+            events, key=lambda e: (e["ts"], -float(e.get("dur", 0.0)))
+        )
+        assert document["otherData"]["schema"] == TRACE_SCHEMA_VERSION
+        json.dumps(document)  # must serialize as-is
+
+    def test_cli_export_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        out = tmp_path / "t.json"
+        self.write_trace(path)
+        assert summary_main(["export", str(path), "--format", "chrome", "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert len(document["traceEvents"]) == 3
+        assert summary_main(["export", str(path)]) == 0
+        stdout_doc = json.loads(capsys.readouterr().out)
+        assert stdout_doc == document
+
+
+class TestEmptyTraceSummarize:
+    def test_empty_file_renders_no_spans(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_trace(str(path)) == []
+        assert summary_main(["summarize", str(path)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_header_only_trace_renders_no_spans(self, tmp_path, capsys):
+        path = tmp_path / "header.jsonl"
+        path.write_text(
+            json.dumps(
+                {"type": "trace_header", "format": TRACE_FORMAT,
+                 "schema": TRACE_SCHEMA_VERSION}
+            )
+            + "\n"
+        )
+        assert summary_main(["summarize", str(path)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_spans_carry_thread_ids(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure_tracing(str(path))
+        try:
+            with obs.span("round"):
+                obs.event("net", net="n1")
+        finally:
+            obs.close_tracing(None)
+        records = load_trace(str(path))
+        span = next(r for r in records if r["type"] == "span")
+        event = next(r for r in records if r["type"] == "event")
+        assert span["tid"] == threading.get_ident()
+        assert event["tid"] == threading.get_ident()
+        assert span["duration"] >= 0.0  # monotonic clock: never negative
+
+
+class TestJobHistory:
+    def test_history_bound_and_terminal_guard(self):
+        store = JobStore()
+        job = store.submit("route", {})
+        store.mark_running(job.job_id)
+        for i in range(HISTORY_LIMIT + 10):
+            store.append_history(job.job_id, {"round": i + 1})
+        history = store.history(job.job_id)
+        assert len(history) == HISTORY_LIMIT
+        assert history[0]["round"] == 11  # oldest dropped
+        store.mark_done(job.job_id, {"ok": True})
+        store.append_history(job.job_id, {"round": -1})  # late sample dropped
+        assert store.history(job.job_id)[-1]["round"] == HISTORY_LIMIT + 10
+
+    def test_history_round_trips_through_persistence(self, tmp_path):
+        store = JobStore(state_dir=str(tmp_path))
+        job = store.submit("route", {})
+        store.mark_running(job.job_id)
+        store.append_history(job.job_id, {"round": 1, "overflow": 0.5})
+        store.mark_done(job.job_id, {"ok": True})
+        reloaded = JobStore(state_dir=str(tmp_path))
+        assert reloaded.history(job.job_id) == store.history(job.job_id)
+        # status/result stay lean: history only ships on the history op.
+        assert "history" not in store.snapshot(job.job_id)
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    daemon = ServeDaemon(port=0, job_workers=2, state_dir=str(tmp_path / "state"))
+    daemon.start()
+    yield daemon
+    daemon.shutdown()
+
+
+@pytest.fixture()
+def client(daemon):
+    host, port = daemon.address
+    client = ServeClient(host, port, timeout=60.0)
+    client.wait_until_up()
+    return client
+
+
+class TestWatchStreaming:
+    ROUNDS = 3
+
+    def submit(self, client, **overrides):
+        params = dict(chip="c1", net_scale=0.2, rounds=self.ROUNDS, shards=2)
+        params.update(overrides)
+        return client.submit_route(**params)
+
+    def test_watch_streams_every_round_event_in_order(self, client):
+        job_id = self.submit(client)
+        events = list(client.watch(job_id, timeout=300.0))
+        rounds = [e for e in events if e["event"] == "round"]
+        assert [e["round"] for e in rounds] == [1, 2, 3]
+        remaining = [e["rounds_remaining"] for e in rounds]
+        assert remaining == sorted(remaining, reverse=True) == [2, 1, 0]
+        # Full round samples ride on the event.
+        assert all("overflow" in e and "cost" in e for e in rounds)
+        # Deep-layer events carry the owning job via the bus context.
+        assert all(e["job_id"] == job_id for e in events)
+        assert any(e["event"] == "region_done" for e in events)
+        assert any(e["event"] == "seam_done" for e in events)
+        # Sequence numbers are strictly increasing; schema is pinned.
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert all(e["schema"] == obs.EVENT_SCHEMA_VERSION for e in events)
+        # The stream ends on the terminal job_state.
+        assert events[-1]["event"] == "job_state"
+        assert events[-1]["status"] == JobState.DONE
+
+    def test_watched_job_is_bit_identical_to_unwatched(self, client):
+        plain_id = self.submit(client)
+        plain = client.wait(plain_id, timeout=300.0)
+        watched_id = self.submit(client)
+        list(client.watch(watched_id, timeout=300.0))
+        watched = client.result(watched_id)
+        assert watched["status"] == JobState.DONE
+        a = RoutingResult.from_dict(plain["result"]["result"])
+        b = RoutingResult.from_dict(watched["result"]["result"])
+        for field in PARITY_FIELDS:
+            assert getattr(a, field) == getattr(b, field), field
+
+    def test_watch_unknown_job_is_refused(self, client):
+        with pytest.raises(ServeError, match="unknown job"):
+            list(client.watch("job-99999", timeout=30.0))
+
+    def test_watch_of_terminal_job_synthesizes_job_state(self, client):
+        job_id = self.submit(client, rounds=1)
+        client.wait(job_id, timeout=300.0)
+        events = list(client.watch(job_id, timeout=30.0))
+        assert events  # late watcher still learns the outcome
+        assert events[-1]["event"] == "job_state"
+        assert events[-1]["status"] == JobState.DONE
+        assert events[-1]["job_id"] == job_id
+
+    def test_stalled_subscriber_never_stalls_the_job(self, client, daemon):
+        # A subscriber with a tiny queue that never reads: the job must
+        # finish normally and the bus must account for the lost events.
+        stalled = daemon.bus.subscribe(maxlen=1)
+        try:
+            job_id = self.submit(client)
+            job = client.wait(job_id, timeout=300.0)
+            assert job["status"] == JobState.DONE
+            assert stalled.dropped > 0
+            assert obs.default_registry().counter("bus.dropped") > 0
+            health = client.health()
+            assert health["events_dropped"] > 0
+        finally:
+            stalled.close()
+
+    def test_history_op_returns_persisted_rounds(self, client):
+        job_id = self.submit(client)
+        client.wait(job_id, timeout=300.0)
+        history = client.history(job_id)
+        assert [s["round"] for s in history] == [1, 2, 3]
+        assert all(s["rounds_total"] == self.ROUNDS for s in history)
+        assert all("region_seconds" in s for s in history)
+        with pytest.raises(ServeError):
+            client.history("job-99999")
+
+    def test_health_op_reports_daemon_state(self, client):
+        job_id = self.submit(client, rounds=1)
+        client.wait(job_id, timeout=300.0)
+        health = client.health()
+        assert health["uptime_seconds"] >= 0.0
+        assert health["jobs"].get(JobState.DONE, 0) >= 1
+        assert health["queue_depth"] == 0
+        assert health["watchers"] == 0
+        assert health["events_published"] > 0
+        assert health["event_schema"] == obs.EVENT_SCHEMA_VERSION
+        assert health["trace_schema"] == TRACE_SCHEMA_VERSION
+        assert isinstance(health["pool_degradations"], dict)
