@@ -25,7 +25,6 @@ import time
 import pytest
 
 from repro.core.cost_distance import CostDistanceSolver
-from repro.grid.geometry import GridPoint
 from repro.instances.chips import build_chip, smoke_chip
 from repro.instances.eco import MovePin
 from repro.router.metrics import PARITY_FIELDS

@@ -388,6 +388,103 @@ def scenario_obs_stream_overhead() -> List[Dict[str, object]]:
     ]
 
 
+def scenario_soak_recovery() -> List[Dict[str, object]]:
+    """Faulted + crashed + resumed routing vs the clean pooled run.
+
+    The chaos leg routes the smoke chip on a region-worker pool with a
+    worker killed in round 2, auto-checkpoints every round, "crashes"
+    after round 2, and resumes a fresh router from the checkpoint.  The
+    recovery contract is asserted in-scenario: the resumed result must be
+    bit-identical to the straight-through run on every parity field.  The
+    recovery/clean walltime ratio is *tracked* (floored at 1.0, one
+    machine, one job -- it transfers across hosts like the obs ratios);
+    it bounds the total cost of a kill + in-process retry + checkpoint
+    cadence + crash + resume cycle relative to an undisturbed run.
+    """
+    import tempfile
+
+    from repro import faults
+    from repro.core.cost_distance import CostDistanceSolver
+    from repro.instances.chips import build_chip, smoke_chip
+    from repro.router.metrics import PARITY_FIELDS
+    from repro.router.router import GlobalRouter, GlobalRouterConfig
+    from repro.serve.checkpoint import checkpoint_every_hook, try_resume_router
+
+    graph, netlist = build_chip(smoke_chip(bench_scale()))
+    config = dict(num_rounds=3, shards=2, shard_workers=2)
+
+    class _SimulatedCrash(BaseException):
+        pass
+
+    def make_router():
+        return GlobalRouter(
+            graph, netlist, CostDistanceSolver(), GlobalRouterConfig(**config)
+        )
+
+    def clean_run():
+        started = time.perf_counter()
+        result = make_router().run()
+        return result, time.perf_counter() - started
+
+    def recovery_run(path):
+        save = checkpoint_every_hook(path, 1)
+
+        def crashing_hook(router, round_index):
+            save(router, round_index)
+            if round_index == 1:
+                raise _SimulatedCrash
+
+        faults.install_plan("kill-region-worker:round=2")
+        started = time.perf_counter()
+        try:
+            interrupted = make_router()
+            try:
+                interrupted.run(on_round_end=crashing_hook)
+                raise RuntimeError("simulated crash never fired")
+            except _SimulatedCrash:
+                pass
+            interrupted.engine.close()
+        finally:
+            faults.clear_plan()
+        resumed = make_router()
+        if not try_resume_router(resumed, path):
+            raise RuntimeError("auto-checkpoint did not resume")
+        resumed_from = resumed.rounds_completed
+        result = resumed.run(on_round_end=save)
+        return result, time.perf_counter() - started, resumed_from
+
+    # Best-of-2 on both legs, like the other ratio scenarios: the ratio is
+    # gated, so per-run pool-forking noise must not masquerade as drift.
+    clean, clean_time = min((clean_run() for _ in range(2)), key=lambda r: r[1])
+    with tempfile.TemporaryDirectory() as tmp:
+        legs = [
+            recovery_run(os.path.join(tmp, f"soak_recovery_{attempt}.ckpt"))
+            for attempt in range(2)
+        ]
+    result, recovery_time, resumed_from = min(legs, key=lambda r: r[1])
+
+    for field in PARITY_FIELDS:
+        if getattr(clean, field) != getattr(result, field):
+            raise RuntimeError(
+                f"kill + crash + resume changed the routing result on {field}"
+            )
+    ratio = recovery_time / clean_time if clean_time > 0 else 1.0
+    tracked = _result_metrics(result)
+    tracked["recovery_overhead_ratio"] = round(max(1.0, ratio), 3)
+    return [
+        {
+            "name": "soak_recovery",
+            "metrics": {
+                "clean_walltime_seconds": round(clean_time, 4),
+                "recovery_walltime_seconds": round(recovery_time, 4),
+                "recovery_overhead_ratio_raw": round(ratio, 3),
+                "resumed_from_round": resumed_from,
+            },
+            "tracked": tracked,
+        }
+    ]
+
+
 def run_trajectory() -> Dict[str, object]:
     records: List[Dict[str, object]] = []
     records.extend(scenario_engine_modes())
@@ -396,6 +493,7 @@ def run_trajectory() -> Dict[str, object]:
     records.extend(scenario_session_eco())
     records.extend(scenario_obs_overhead())
     records.extend(scenario_obs_stream_overhead())
+    records.extend(scenario_soak_recovery())
     return {
         "schema": SCHEMA_VERSION,
         "bench_scale": bench_scale(),

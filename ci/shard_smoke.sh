@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Shard smoke: one --shards 4 --shard-workers 2 job; validate the merged
+# result schema.  Usage: ci/shard_smoke.sh PORT  (under ci/with_daemon.sh)
+set -euo pipefail
+PORT="$1"
+
+python -m repro submit --port "$PORT" --chip c1 --net-scale 0.4 --rounds 2 \
+  --shards 4 --shard-workers 2 --wait --timeout 600 > shard_job.json
+python - <<'EOF'
+import json
+from repro.router.metrics import RoutingResult
+
+job = json.load(open("shard_job.json"))
+assert job["status"] == "done", job
+payload = job["result"]
+merged = RoutingResult.from_dict(payload["result"])
+assert merged.num_nets == payload["seam_nets"] + sum(payload["interior_nets"])
+assert payload["shards"] == 4 and payload["subjobs"], payload
+assert payload["shard_workers"] == 2, payload
+# Ubuntu runners have working fork pools; the thread fallback is for
+# sandboxes without them.
+assert payload["region_backend"] == "process", payload
+print("merged shard result parses:", merged)
+EOF

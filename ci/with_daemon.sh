@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Run a command against a live repro daemon.
+#
+#   ci/with_daemon.sh [serve args] -- command [args...]
+#
+# Starts `python -m repro serve` with the given arguments (which must
+# include --port), polls the health endpoint until the daemon answers,
+# runs the command, and always tears the daemon down on exit: graceful
+# `shutdown` first, SIGKILL when the daemon stops responding.  The
+# command's exit status is the script's exit status.
+set -euo pipefail
+
+SERVE_ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --) shift; break ;;
+    *) SERVE_ARGS+=("$1"); shift ;;
+  esac
+done
+if [ $# -eq 0 ]; then
+  echo "usage: ci/with_daemon.sh [serve args] -- command [args...]" >&2
+  exit 2
+fi
+
+PORT=""
+for ((i = 0; i < ${#SERVE_ARGS[@]}; i++)); do
+  if [ "${SERVE_ARGS[i]}" = "--port" ]; then
+    PORT="${SERVE_ARGS[i + 1]:-}"
+  fi
+done
+if [ -z "$PORT" ]; then
+  echo "ci/with_daemon.sh: serve args must include --port PORT" >&2
+  exit 2
+fi
+
+export PYTHONPATH="${PYTHONPATH:-src}"
+python -m repro serve "${SERVE_ARGS[@]}" &
+SERVE_PID=$!
+
+cleanup() {
+  status=$?
+  trap - EXIT
+  if kill -0 "$SERVE_PID" 2>/dev/null; then
+    python -m repro shutdown --port "$PORT" >/dev/null 2>&1 || \
+      kill -9 "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  exit "$status"
+}
+trap cleanup EXIT
+
+READY=""
+for _ in $(seq 1 100); do
+  if python -m repro health --port "$PORT" >/dev/null 2>&1; then
+    READY=1
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "ci/with_daemon.sh: daemon exited before answering health checks" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+if [ -z "$READY" ]; then
+  echo "ci/with_daemon.sh: daemon not healthy on port $PORT after 20s" >&2
+  exit 1
+fi
+
+"$@"

@@ -10,6 +10,9 @@ Examples::
     python -m repro --chip c3 --oracle L1 --rounds 3
     python -m repro --chip c1 --backend process --workers 4 --cache
     python -m repro --chip c2 --checkpoint run.ckpt --resume
+    python -m repro --chip c2 --checkpoint run.ckpt --checkpoint-every 2
+    python -m repro --chip c1 --shards 2 --shard-workers 2 \\
+        --inject kill-region-worker:round=2
     python -m repro route --chip c8 --shards 4
     python -m repro route --chip c8 --shards 4 --shard-workers 2
     python -m repro --list-chips
@@ -25,6 +28,8 @@ Examples::
     python -m repro metrics --format prometheus
     python -m repro trace summarize run.trace
     python -m repro trace export run.trace --format chrome -o run.json
+    python -m repro soak --chip c1 --ops 60 --shards 2 \\
+        --inject "kill-region-worker:round=2"
     python -m repro shutdown
 """
 
@@ -163,9 +168,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a resumable checkpoint to PATH after every round",
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "with --checkpoint: save every N rounds instead of every round "
+            "(the final round is always saved)"
+        ),
+    )
+    parser.add_argument(
         "--resume",
         action="store_true",
         help="resume from --checkpoint PATH when it exists",
+    )
+    parser.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject a fault for chaos testing, e.g. "
+            "'kill-region-worker:round=2', 'kill-pool-worker', "
+            "'slow-oracle:ms=20', 'drop-outcome', 'crash-run:round=1'; "
+            "repeatable (see repro.faults)"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -197,6 +224,11 @@ def main(argv: Optional[list] = None) -> int:
         from repro.obs.summary import main as trace_main
 
         return trace_main(argv[1:])
+    elif argv and argv[0] == "soak":
+        # ECO-stream endurance run under a fault plan (`python -m repro soak`).
+        from repro.serve.soak import main as soak_main
+
+        return soak_main(argv[1:])
     elif argv and not argv[0].startswith("-"):
         # A word-like first argument may be a service subcommand; the
         # authoritative list lives in serve/cli.py (imported lazily so the
@@ -222,6 +254,10 @@ def main(argv: Optional[list] = None) -> int:
         from repro import obs
 
         obs.configure_tracing(args.trace)
+    if args.inject:
+        from repro import faults
+
+        faults.install_plan(";".join(args.inject))
 
     spec = next(s for s in CHIP_SUITE if s.name == args.chip)
     if args.net_scale != 1.0:
@@ -262,7 +298,7 @@ def main(argv: Optional[list] = None) -> int:
         )
     on_round_end = None
     if args.checkpoint:
-        from repro.serve.checkpoint import checkpoint_hook, resume_router
+        from repro.serve.checkpoint import checkpoint_every_hook, resume_router
 
         if args.resume and resume_router(router, args.checkpoint):
             print(
@@ -270,7 +306,7 @@ def main(argv: Optional[list] = None) -> int:
                 f"{router.rounds_completed}/{config.num_rounds}",
                 file=sys.stderr,
             )
-        on_round_end = checkpoint_hook(args.checkpoint)
+        on_round_end = checkpoint_every_hook(args.checkpoint, args.checkpoint_every)
     try:
         result = router.run(on_round_end=on_round_end)
     finally:

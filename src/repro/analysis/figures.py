@@ -17,10 +17,9 @@ the *data* behind the figure (and a small ASCII rendering where useful):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.bifurcation import BifurcationModel
 from repro.core.cost_distance import CostDistanceConfig, CostDistanceSolver, MergeRecord

@@ -6,7 +6,7 @@ can be compared side by side with Tables I-V.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.analysis.experiments import InstanceComparisonRow
 from repro.router.metrics import RoutingResult

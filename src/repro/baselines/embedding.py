@@ -25,7 +25,7 @@ margin, as is standard in global routing).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.baselines.topology import PlaneTopology
 from repro.core.instance import SteinerInstance

@@ -24,7 +24,6 @@ The resulting topology is then embedded optimally into the routing graph by
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

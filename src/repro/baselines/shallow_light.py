@@ -25,7 +25,7 @@ evaluated, as described in the paper.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.embedding import TopologyEmbedder
 from repro.baselines.rsmt import rectilinear_steiner_topology

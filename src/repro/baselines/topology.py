@@ -10,7 +10,7 @@ monotone rectilinear staircase between its endpoints).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.grid.geometry import PlanarPoint, planar_l1

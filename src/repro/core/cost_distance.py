@@ -36,11 +36,10 @@ enhancements and matches the analysed algorithm, which carries the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
-from repro.core.bifurcation import BifurcationModel
 from repro.core.future_cost import FutureCostEstimator
 from repro.core.heap import AddressableBinaryHeap, TwoLevelHeap
 from repro.core.instance import SteinerInstance
@@ -281,7 +280,7 @@ class CostDistanceSolver(SteinerOracle):
             comp_delay[comp_id] = {n: 0.0 for n in nodes}
             return comp_id
 
-        root_comp = new_component(ROOT_ID, {root_node})
+        new_component(ROOT_ID, {root_node})
 
         active: Dict[int, _Terminal] = {}
         searches: Dict[int, _Search] = {}

@@ -15,7 +15,7 @@ Two structures are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
 
 __all__ = ["AddressableBinaryHeap", "TwoLevelHeap"]
 

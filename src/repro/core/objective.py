@@ -16,8 +16,8 @@ single consistent metric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
 
 from repro.core.instance import SteinerInstance
 from repro.core.tree import EmbeddedTree

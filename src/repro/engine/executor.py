@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.oracle import SteinerOracle
@@ -45,6 +45,7 @@ __all__ = [
     "make_executor",
     "create_worker_pool",
     "validate_start_method",
+    "run_tasks_with_recovery",
     "EXECUTOR_BACKENDS",
 ]
 
@@ -127,6 +128,124 @@ def create_worker_pool(
         return None
 
 
+def run_tasks_with_recovery(
+    pool,
+    fn,
+    tasks,
+    retry,
+    backend: str,
+    sabotage=None,
+    stall_timeout: float = 5.0,
+) -> Tuple[list, bool]:
+    """Run ``fn`` over ``tasks`` on ``pool``, surviving dead workers.
+
+    ``multiprocessing.Pool`` replaces a worker that dies (OOM-killed,
+    segfaulted, chaos-injected SIGKILL) but silently *loses the task the
+    worker was executing* -- a plain ``pool.map`` then blocks forever on a
+    result that will never arrive.  This collector submits each task as
+    its own ``apply_async``, watches the pool's worker processes for
+    deaths, and -- once every still-pending task can only be explained by
+    a lost worker -- re-executes the pending tasks in the parent via
+    ``retry``.  Tasks are pure functions of their inputs (the engine's
+    determinism contract), so a re-execution, wherever it runs, is
+    bit-identical to the result the dead worker would have produced.
+
+    A death can also wedge the pool outright: a worker SIGKILLed while
+    holding the shared task-queue lock starves every other worker.  When
+    deaths were observed but completions stop for ``stall_timeout``
+    seconds, the collector gives up on the pool and recovers *all*
+    pending tasks in-process.  And because a wedge can surface only on
+    the *next* dispatch (the victim died after this call's results were
+    in), **any** observed death marks the pool broken: the caller
+    discards it and rebuilds from the initializer payload -- cheap, and
+    it closes the hang window for good.
+
+    ``sabotage``, when given, is called with the pool right after the
+    tasks are dispatched -- the hook chaos faults use to kill a worker at
+    the moment it is most likely mid-task.
+
+    Returns ``(results, pool_broken)`` with results aligned with
+    ``tasks``.  Worker exceptions (as opposed to worker *deaths*)
+    propagate unchanged.
+    """
+    pending = {index: pool.apply_async(fn, (task,)) for index, task in enumerate(tasks)}
+    if sabotage is not None:
+        # Give the workers a moment to pick the tasks up: killing a busy
+        # worker loses its task (the case under test); killing an idle one
+        # can only wedge the queue (the stall path below).
+        time.sleep(0.05)
+        sabotage(pool)
+    results: list = [None] * len(tasks)
+    seen_workers: set = set()
+    last_progress = time.monotonic()
+
+    def recover(reason: str) -> None:
+        lost = sorted(pending)
+        pending.clear()
+        obs.get_logger("engine").warning(
+            "%s; re-executing %d in-flight task(s) in-process",
+            reason,
+            len(lost),
+            extra={"backend": backend, "lost": len(lost)},
+        )
+        for index in lost:
+            results[index] = retry(tasks[index])
+            obs.inc("recovery.tasks_retried")
+            obs.inc(f"recovery.tasks_retried.{backend}")
+        obs.publish("recovery", backend=backend, retried=len(lost), reason=reason)
+
+    def count_deaths() -> int:
+        # Track every worker process the pool has had during this call;
+        # the pool prunes dead ones from ``_pool`` when it replaces them,
+        # but a reaped Process object keeps its exitcode.
+        seen_workers.update(getattr(pool, "_pool", None) or [])
+        return sum(1 for worker in seen_workers if worker.exitcode is not None)
+
+    while pending:
+        deaths = count_deaths()
+        ready = [index for index, result in pending.items() if result.ready()]
+        if ready:
+            last_progress = time.monotonic()
+        for index in ready:
+            results[index] = pending.pop(index).get()
+        if not pending:
+            break
+        if deaths:
+            if len(pending) <= deaths:
+                # A death loses at most the one task its worker was
+                # running, so every remaining result is unreachable.
+                recover(f"{deaths} pool worker death(s) lost the remaining tasks")
+                break
+            if time.monotonic() - last_progress > stall_timeout:
+                recover(
+                    f"pool stalled {stall_timeout:.1f}s after {deaths} worker "
+                    "death(s) (task queue presumed wedged)"
+                )
+                break
+        next(iter(pending.values())).wait(0.05)
+    return results, count_deaths() > 0
+
+
+def discard_broken_pool(pool) -> None:
+    """Tear a wedged pool down on a background thread.
+
+    Terminating a pool whose task queue died with a lock held can itself
+    block (the handler threads join the queue); a daemon thread keeps
+    that out of the routing flow's way.
+    """
+    import threading
+
+    def _terminate() -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - teardown of a broken pool
+            pass
+
+    threading.Thread(target=_terminate, name="discard-broken-pool", daemon=True).start()
+    obs.inc("recovery.pools_discarded")
+
+
 @dataclass(frozen=True)
 class NetTask:
     """Everything a worker needs to route one net (cheap to pickle).
@@ -207,6 +326,9 @@ class BatchExecutor:
             self.graph, task.payload(costs, self.bifurcation), delay=self._delay
         )
         rng = derive_net_rng_for_name(self.seed, task.rng_name)
+        plan = faults.get_plan()
+        if plan is not None:
+            plan.sleep("slow-oracle")
         if obs.get_tracer() is None:
             return self.oracle.build(instance, rng)
         # Per-net events exist only under an active tracer; the timing calls
@@ -269,8 +391,11 @@ def _route_shard(
     results = []
     local = obs.MetricsRegistry()
     previous = obs.swap_registry(local)
+    plan = faults.get_plan()
     try:
         for task in tasks:
+            if plan is not None:
+                plan.sleep("slow-oracle")
             instance = SteinerInstance.from_payload(
                 graph, task.payload(costs, bifurcation), delay=delay
             )
@@ -353,6 +478,13 @@ class ProcessExecutor(BatchExecutor):
             self._pool = None
         super().close()
 
+    def _discard_pool(self) -> None:
+        """Drop a wedged pool without blocking on it; the next batch
+        starts a fresh one (same initializer payload)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            discard_broken_pool(pool)
+
     # ------------------------------------------------------------------ API
     def route_batch(
         self, costs: np.ndarray, tasks: Sequence[NetTask]
@@ -364,17 +496,49 @@ class ProcessExecutor(BatchExecutor):
         if pool is None:
             # Degraded mode: no pool could be started in this environment.
             return {task.net_index: self._route_one(costs, task) for task in tasks}
+        plan = faults.get_plan()
+        sabotage = None
+        if plan is not None and plan.should("kill-pool-worker", faults.current_round()):
+            sabotage = faults.kill_pool_worker
         shards = self._shard(list(tasks))
         roots = {task.net_index: task.root for task in tasks}
         trees: Dict[int, EmbeddedTree] = {}
-        for shard_result, worker_metrics in pool.map(
-            _route_shard, [(costs, shard) for shard in shards]
-        ):
+        outcomes, pool_broken = run_tasks_with_recovery(
+            pool,
+            _route_shard,
+            [(costs, shard) for shard in shards],
+            retry=self._route_shard_inline,
+            backend=self.backend,
+            sabotage=sabotage,
+        )
+        if pool_broken or sabotage is not None:
+            # A sabotaged pool is discarded even when no death was observed
+            # during the call: a worker killed *after* its last task leaves
+            # no pending work to recover, but it may die holding the shared
+            # task-queue lock and wedge the next dispatch with no
+            # observable deaths (the pool respawns its _pool entry).
+            self._discard_pool()
+        for shard_result, worker_metrics in outcomes:
             for net_index, sinks, edges, method in shard_result:
                 trees[net_index] = EmbeddedTree(self.graph, roots[net_index], sinks, edges, method)
             # Fixed shard order keeps the merged counters deterministic.
             obs.merge_snapshot(worker_metrics)
         return trees
+
+    def _route_shard_inline(self, shard: Tuple[np.ndarray, List[NetTask]]):
+        """Route one worker shard in the parent (the dead-worker recovery
+        path).  Every net carries its own derived RNG stream, so the trees
+        are bit-identical to what the lost worker would have returned; the
+        oracle's counters land in the parent registry directly (no snapshot
+        to ship)."""
+        costs, tasks = shard
+        results = []
+        for task in tasks:
+            tree = self._route_one(costs, task)
+            results.append(
+                (task.net_index, tuple(tree.sinks), tuple(tree.edges), tree.method)
+            )
+        return results, {}
 
     def _shard(self, tasks: List[NetTask]) -> List[List[NetTask]]:
         """Split a batch into one contiguous shard per worker."""

@@ -22,7 +22,7 @@ so Dijkstra-style searches stay reasonably fast in pure Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np

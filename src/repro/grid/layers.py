@@ -18,7 +18,7 @@ delay model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 __all__ = ["WireType", "Layer", "LayerStack", "default_layer_stack"]
 

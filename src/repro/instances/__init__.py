@@ -25,6 +25,7 @@ from repro.instances.eco import (
     apply_eco,
     parse_ops,
 )
+from repro.instances.eco_stream import EcoStreamConfig, generate_eco_stream
 
 __all__ = [
     "NetlistGeneratorConfig",
@@ -45,4 +46,6 @@ __all__ = [
     "EcoResult",
     "apply_eco",
     "parse_ops",
+    "EcoStreamConfig",
+    "generate_eco_stream",
 ]

@@ -19,7 +19,7 @@ the dirty-net closure -- is the job of the replay machinery in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.grid.geometry import GridPoint
 from repro.router.netlist import Net, Netlist, Pin, Stage

@@ -1,0 +1,186 @@
+"""Seeded generator of long, always-valid ECO op streams.
+
+The endurance ("soak") harness needs hundreds of ECO operations that stay
+legal against a netlist as it evolves: pins only move inside the grid,
+sinks are only removed where one remains and no stage hangs off them, nets
+are only removed when no stage references them.  Tracking that by blindly
+sampling ops and retrying on rejection would couple the stream to
+``apply_eco``'s error behaviour; instead this module keeps a tiny live
+model of the evolving netlist (net -> pin names, which nets and sinks the
+stream itself added) and only ever emits ops the model proves valid.
+
+The conservative rules -- ``remove_sink``/``remove_net`` target only
+stream-added sinks/nets, which are stage-free by construction -- keep the
+generator independent of the stage topology while still exercising every
+op kind, including index-shifting net removals.
+
+Streams are pure functions of ``(netlist, graph bounds, seed, ops)``: the
+soak harness replays the *same* stream against a clean serial session and
+a fault-injected sharded session and compares terminal states.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.grid.graph import RoutingGraph
+from repro.router.netlist import Netlist
+
+__all__ = ["EcoStreamConfig", "generate_eco_stream"]
+
+
+@dataclass(frozen=True)
+class EcoStreamConfig:
+    """Shape of a generated ECO stream.
+
+    ``ops`` operations are grouped into batches of ``batch_size`` (the last
+    batch may be short); each batch is one ECO request.  ``max_new_sinks``
+    bounds the fan-out of stream-added nets.
+    """
+
+    ops: int = 200
+    batch_size: int = 5
+    seed: int = 0
+    max_new_sinks: int = 3
+
+    def __post_init__(self) -> None:
+        if self.ops < 1:
+            raise ValueError("ops must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.max_new_sinks < 1:
+            raise ValueError("max_new_sinks must be positive")
+
+
+@dataclass
+class _NetModel:
+    """What the generator must remember about one live net."""
+
+    driver: str
+    sinks: List[str]
+    added: bool = False
+    #: Sinks appended by the stream itself (stage-free, hence removable).
+    added_sinks: List[str] = field(default_factory=list)
+
+
+def _live_model(netlist: Netlist) -> Dict[str, _NetModel]:
+    return {
+        net.name: _NetModel(driver=net.driver.name, sinks=[p.name for p in net.sinks])
+        for net in netlist.nets
+    }
+
+
+def generate_eco_stream(
+    netlist: Netlist,
+    graph: RoutingGraph,
+    config: EcoStreamConfig = EcoStreamConfig(),
+) -> List[List[Dict[str, object]]]:
+    """Generate batches of wire-format ECO ops, always-valid in sequence.
+
+    The return value is a list of batches; each batch is a list of op
+    dicts ready for :func:`repro.instances.eco.parse_ops`, a session's
+    :meth:`~repro.serve.session.RoutingSession.apply_eco`, or a daemon
+    ``eco`` job.  Applying the batches in order never raises.
+    """
+    rng = random.Random(config.seed)
+    model = _live_model(netlist)
+    counter = 0  # one namespace for all stream-created net/pin names
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"eco:{prefix}{counter}"
+
+    def point() -> Dict[str, int]:
+        # Layer 0 like the netlist generator's pins; interior of the grid.
+        return {"x": rng.randrange(graph.nx), "y": rng.randrange(graph.ny), "layer": 0}
+
+    def op_move_pin() -> Dict[str, object]:
+        name = rng.choice(sorted(model))
+        net = model[name]
+        pin = rng.choice([net.driver] + net.sinks)
+        return {"op": "move_pin", "net": name, "pin": pin, **point()}
+
+    def op_add_sink() -> Dict[str, object]:
+        name = rng.choice(sorted(model))
+        pin = fresh("s")
+        model[name].sinks.append(pin)
+        model[name].added_sinks.append(pin)
+        return {"op": "add_sink", "net": name, "pin": pin, **point()}
+
+    def op_remove_sink() -> Dict[str, object]:
+        # Only stream-added sinks (stage-free) of nets keeping >= 2 sinks,
+        # and never a sink this batch reweighted: ``apply_eco`` resolves
+        # reweights after all ops of a request, so the sink must survive it.
+        candidates = sorted(
+            name
+            for name, net in model.items()
+            if len(net.sinks) >= 2 and any(pin not in batch_reweighted for pin in net.added_sinks)
+        )
+        if not candidates:
+            return op_add_sink()
+        name = rng.choice(candidates)
+        net = model[name]
+        pin = next(p for p in reversed(net.added_sinks) if p not in batch_reweighted)
+        net.added_sinks.remove(pin)
+        net.sinks.remove(pin)
+        return {"op": "remove_sink", "net": name, "pin": pin}
+
+    def op_add_net() -> Dict[str, object]:
+        name = fresh("n")
+        driver = fresh("drv")
+        sinks = [fresh("s") for _ in range(rng.randint(1, config.max_new_sinks))]
+        model[name] = _NetModel(driver=driver, sinks=list(sinks), added=True)
+        pt = point()
+        return {
+            "op": "add_net",
+            "net": name,
+            "driver": [driver, pt["x"], pt["y"], pt["layer"]],
+            "sinks": [[s, *(point()[k] for k in ("x", "y", "layer"))] for s in sinks],
+        }
+
+    def op_remove_net() -> Dict[str, object]:
+        # Stream-added nets only (stage-free), minus this batch's reweight
+        # targets (see op_remove_sink for why).
+        candidates = sorted(
+            name
+            for name, net in model.items()
+            if net.added and not any(pin in batch_reweighted for pin in net.sinks)
+        )
+        if not candidates:
+            return op_add_net()
+        name = rng.choice(candidates)
+        del model[name]
+        return {"op": "remove_net", "net": name}
+
+    def op_reweight_sink() -> Dict[str, object]:
+        name = rng.choice(sorted(model))
+        net = model[name]
+        pin = rng.choice(net.sinks)
+        batch_reweighted.add(pin)
+        weight = round(rng.uniform(0.25, 4.0), 3)
+        return {"op": "reweight_sink", "net": name, "pin": pin, "weight": weight}
+
+    makers = [
+        (op_move_pin, 0.30),
+        (op_add_sink, 0.20),
+        (op_remove_sink, 0.10),
+        (op_add_net, 0.15),
+        (op_remove_net, 0.10),
+        (op_reweight_sink, 0.15),
+    ]
+    weights = [w for _, w in makers]
+
+    batches: List[List[Dict[str, object]]] = []
+    remaining = config.ops
+    while remaining > 0:
+        batch_reweighted: set = set()
+        batch: List[Dict[str, object]] = []
+        for _ in range(min(config.batch_size, remaining)):
+            (maker,) = rng.choices([m for m, _ in makers], weights=weights)
+            batch.append(maker())
+        remaining -= len(batch)
+        batches.append(batch)
+    return batches

@@ -19,7 +19,7 @@ Two generators are provided:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +27,7 @@ import numpy as np
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.grid.geometry import GridPoint
-from repro.grid.graph import RoutingGraph, build_grid_graph
+from repro.grid.graph import RoutingGraph
 from repro.router.netlist import Net, Netlist, Pin, Stage
 
 __all__ = [

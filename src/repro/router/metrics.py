@@ -8,8 +8,8 @@ total wire length, via count, and wall time, plus a few extra diagnostics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 __all__ = ["RoutingResult", "PARITY_FIELDS", "format_result_row"]
 

@@ -11,7 +11,7 @@ another net are timing endpoints constrained by the clock period.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.grid.geometry import GridPoint
 from repro.grid.graph import RoutingGraph

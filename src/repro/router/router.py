@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.bifurcation import BifurcationModel
 from repro.core.instance import SteinerInstance
 from repro.core.objective import evaluate_tree
@@ -233,6 +233,9 @@ class GlobalRouter:
         try:
             while self.rounds_completed < self.config.num_rounds:
                 round_index = self.rounds_completed
+                # Round context for fault choke points that sit below the
+                # round loop (the engine's batch path); no-op bookkeeping.
+                faults.set_round(round_index)
                 final_round = round_index == self.config.num_rounds - 1
                 replay_round = None
                 if replay is not None and round_index < len(replay):
@@ -269,7 +272,14 @@ class GlobalRouter:
                 self.series.record(obs.round_sample(self, round_index))
                 if on_round_end is not None:
                     on_round_end(self, round_index)
+                plan = faults.get_plan()
+                if plan is not None and plan.should("crash-run", round_index):
+                    # Deliberately *after* on_round_end: the checkpoint of
+                    # this round is durably renamed into place, which is
+                    # exactly the state a resume must recover from.
+                    faults.hard_crash(round_index)
         finally:
+            faults.set_round(None)
             self.engine.close()
         if self.timing_report is None:
             # Resumed from a checkpoint taken after the final round: the

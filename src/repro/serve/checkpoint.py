@@ -41,7 +41,9 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_hook",
+    "checkpoint_every_hook",
     "resume_router",
+    "try_resume_router",
 ]
 
 CHECKPOINT_FORMAT = "repro-checkpoint"
@@ -238,8 +240,10 @@ def _load_checkpoint(path: str) -> Checkpoint:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             document = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise CheckpointError(f"{path!r} is not a {CHECKPOINT_FORMAT} file")
     if document.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(f"{path!r} is not a {CHECKPOINT_FORMAT} file")
     if document.get("version") != CHECKPOINT_VERSION:
@@ -251,32 +255,62 @@ def _load_checkpoint(path: str) -> Checkpoint:
                 "the flow and write a fresh checkpoint"
             )
         raise CheckpointError(
-            f"unsupported checkpoint version {document.get('version')!r} "
+            f"{path!r} has unsupported checkpoint version "
+            f"{document.get('version')!r} "
             f"(this build reads version {CHECKPOINT_VERSION})"
         )
-    raw_state = document["state"]
-    signatures = None
-    if raw_state.get("cache_signatures") is not None:
-        signatures = {
-            int(index): bytes.fromhex(sig)
-            for index, sig in raw_state["cache_signatures"].items()
+    # Every shape assumption below is guarded: a truncated or hand-edited
+    # document must surface as a CheckpointError naming the file, never as
+    # a raw KeyError/ValueError traceback out of the decoding internals.
+    try:
+        fingerprint = document["fingerprint"]
+        raw_state = document["state"]
+        signatures = None
+        if raw_state.get("cache_signatures") is not None:
+            signatures = {
+                int(index): bytes.fromhex(sig)
+                for index, sig in raw_state["cache_signatures"].items()
+            }
+        state = {
+            "rounds_completed": int(raw_state["rounds_completed"]),
+            "trees": raw_state["trees"],
+            "congestion": {
+                "overflow_penalty": float(raw_state["congestion"]["overflow_penalty"]),
+                "threshold": float(raw_state["congestion"]["threshold"]),
+                "usage": decode_array(raw_state["congestion"]["usage"]),
+            },
+            "edge_prices": decode_array(raw_state["edge_prices"]),
+            "delay_weights": raw_state["delay_weights"],
+            "cache_signatures": signatures,
+            "region_cache_signatures": decode_region_signatures(
+                raw_state.get("region_cache_signatures")
+            ),
         }
-    state = {
-        "rounds_completed": int(raw_state["rounds_completed"]),
-        "trees": raw_state["trees"],
-        "congestion": {
-            "overflow_penalty": float(raw_state["congestion"]["overflow_penalty"]),
-            "threshold": float(raw_state["congestion"]["threshold"]),
-            "usage": decode_array(raw_state["congestion"]["usage"]),
-        },
-        "edge_prices": decode_array(raw_state["edge_prices"]),
-        "delay_weights": raw_state["delay_weights"],
-        "cache_signatures": signatures,
-        "region_cache_signatures": decode_region_signatures(
-            raw_state.get("region_cache_signatures")
-        ),
-    }
-    return Checkpoint(fingerprint=document["fingerprint"], state=state)
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} is corrupt or truncated ({exc!r})"
+        ) from exc
+    return Checkpoint(fingerprint=fingerprint, state=state)
+
+
+def checkpoint_every_hook(path: str, every: int = 1):
+    """An ``on_round_end`` callback that checkpoints every ``every``-th
+    round -- and always after the final round, so a completed flow never
+    leaves a stale mid-flow checkpoint behind.
+
+    Usage::
+
+        router.run(on_round_end=checkpoint_every_hook("run.ckpt", 2))
+    """
+    if every < 1:
+        raise ValueError("checkpoint interval must be positive")
+
+    def hook(router: GlobalRouter, round_index: int) -> None:
+        completed = round_index + 1
+        if completed % every == 0 or completed >= router.config.num_rounds:
+            save_checkpoint(router, path)
+
+    return hook
 
 
 def checkpoint_hook(path: str):
@@ -286,11 +320,7 @@ def checkpoint_hook(path: str):
 
         router.run(on_round_end=checkpoint_hook("run.ckpt"))
     """
-
-    def hook(router: GlobalRouter, round_index: int) -> None:
-        save_checkpoint(router, path)
-
-    return hook
+    return checkpoint_every_hook(path, 1)
 
 
 def resume_router(router: GlobalRouter, path: str) -> bool:
@@ -299,3 +329,29 @@ def resume_router(router: GlobalRouter, path: str) -> bool:
         return False
     load_checkpoint(path).restore(router)
     return True
+
+
+def try_resume_router(router: GlobalRouter, path: str) -> bool:
+    """Like :func:`resume_router`, but an *unusable* checkpoint degrades to
+    a fresh start instead of failing the run.
+
+    The crash-recovery contract of the serve daemon: a checkpoint that is
+    corrupt, truncated, or written against different inputs means the run
+    restarts from round 0 -- with a structured warning and a
+    ``recovery.checkpoint_corrupt`` counter -- because re-routing from
+    scratch always converges to the same result, while refusing to start
+    would leave the re-adopted job dead.  A *missing* checkpoint is the
+    ordinary cold-start case and is not warned about.
+    """
+    try:
+        return resume_router(router, path)
+    except CheckpointError as exc:
+        obs.get_logger("serve.checkpoint").warning(
+            "ignoring unusable checkpoint %s (%s); restarting from round 0",
+            path,
+            exc,
+            extra={"checkpoint": path},
+        )
+        obs.inc("recovery.checkpoint_corrupt")
+        obs.publish("recovery", kind="checkpoint_corrupt", path=path)
+        return False

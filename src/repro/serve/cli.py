@@ -84,6 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["debug", "info", "warning", "error"],
         help="stderr logging level for the repro.* logger tree",
     )
+    serve.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "install a daemon-wide fault plan for chaos testing, e.g. "
+            "'kill-region-worker:round=2'; repeatable (see repro.faults)"
+        ),
+    )
 
     submit = commands.add_parser("submit", help="submit a routing job")
     _add_endpoint_arguments(submit)
@@ -142,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "ask the daemon to trace this job to the given path (daemon-side "
             "file; ignored while a daemon-wide --trace is active)"
+        ),
+    )
+    submit.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "auto-checkpoint the route every N rounds to a daemon-side file "
+            "next to the job record; a restarted daemon re-adopts the job "
+            "and resumes from the last saved round"
         ),
     )
     submit.add_argument("--wait", action="store_true", help="block until the job finishes")
@@ -244,6 +265,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs.configure_logging(args.log_level)
     if args.trace is not None:
         obs.configure_tracing(args.trace)
+    if args.inject:
+        from repro import faults
+
+        faults.install_plan(";".join(args.inject))
     daemon = ServeDaemon(
         host=args.host,
         port=args.port,
@@ -279,6 +304,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     }
     if args.trace is not None:
         params["trace"] = args.trace
+    if args.checkpoint_every is not None:
+        params["checkpoint_every"] = args.checkpoint_every
     if args.session:
         # A session with --shards routes through the in-process shard
         # coordinator (memo-capable), not the daemon's fan-out job kind.

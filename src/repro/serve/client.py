@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 import socket
 import time
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from repro.serve.daemon import DEFAULT_HOST, DEFAULT_PORT
 from repro.serve.jobs import JobState

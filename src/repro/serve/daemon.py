@@ -27,8 +27,10 @@ nothing beyond the standard library.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import socketserver
+import tempfile
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -46,6 +48,7 @@ from repro.router.metrics import RoutingResult
 from repro.router.netlist import Netlist
 from repro.router.oracles import make_oracle
 from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.checkpoint import checkpoint_every_hook, try_resume_router
 from repro.serve.jobs import JobCancelled, JobState, JobStore
 from repro.serve.session import RoutingSession
 
@@ -109,6 +112,16 @@ def _chip_from_params(params: Dict[str, object]) -> ChipSpec:
     if net_scale != 1.0:
         spec = spec.scaled(net_scale)
     return spec
+
+
+def _chain_hooks(*hooks):
+    """Compose ``on_round_end`` callbacks, invoked left to right."""
+
+    def hook(router, round_index):
+        for callback in hooks:
+            callback(router, round_index)
+
+    return hook
 
 
 def _route_shard_child(
@@ -220,7 +233,10 @@ class ServeDaemon:
     ) -> None:
         if job_workers < 1:
             raise ValueError("job_workers must be positive")
-        self.store = JobStore(state_dir)
+        self.store = JobStore(state_dir, adopt=True)
+        #: Lazily created fallback directory for auto-checkpoints of
+        #: daemons running without a ``state_dir``.
+        self._checkpoint_scratch: Optional[str] = None
         #: ``None`` marks a name reserved by a route job still in flight.
         self.sessions: Dict[str, Optional[RoutingSession]] = {}
         self._session_locks: Dict[str, threading.Lock] = {}
@@ -244,6 +260,23 @@ class ServeDaemon:
         self._owns_global_bus = obs.get_bus() is None
         if self._owns_global_bus:
             obs.configure_bus(self.bus)
+        # Jobs a crashed predecessor left mid-flight: the store re-queued
+        # the re-runnable ones (see JobStore adopt); resubmit them now that
+        # the bus exists.  A job that auto-checkpointed resumes from its
+        # last durable round, the rest re-run from round 0 -- either way
+        # the result is bit-identical to an uninterrupted run.
+        if self.store.adopted_jobs:
+            obs.inc("recovery.jobs_adopted", len(self.store.adopted_jobs))
+            obs.get_logger("serve").warning(
+                "re-adopted %d interrupted job(s): %s",
+                len(self.store.adopted_jobs),
+                ", ".join(self.store.adopted_jobs),
+                extra={"adopted": list(self.store.adopted_jobs)},
+            )
+            for job_id in self.store.adopted_jobs:
+                self._cancel_flags[job_id] = threading.Event()
+                self._publish_job_state(job_id, adopted=True)
+                self._futures[job_id] = self._pool.submit(self._run_job, job_id)
 
     # ----------------------------------------------------------- lifecycle
     @property
@@ -329,7 +362,7 @@ class ServeDaemon:
 
     def _op_cancel(self, request: Dict[str, object]) -> Dict[str, object]:
         job_id = str(request.get("job_id"))
-        job = self.store.get(job_id)  # raises for unknown ids
+        self.store.get(job_id)  # raises for unknown ids
         future = self._futures.get(job_id)
         if future is not None and future.cancel():
             self.store.mark_cancelled(job_id)
@@ -579,6 +612,26 @@ class ServeDaemon:
 
         return hook
 
+    def _checkpoint_plan(
+        self, job_id: str, params: Dict[str, object]
+    ) -> Tuple[Optional[str], int]:
+        """The ``(path, every)`` of a route job's auto-checkpointing, or
+        ``(None, 0)`` when the job did not ask for it.
+
+        The path is derived, not user-supplied: ``<state_dir>/<job_id>.ckpt``
+        next to the job's persisted record, so a restarted daemon that
+        re-adopts the job derives the same path and resumes from it.
+        """
+        every = params.get("checkpoint_every")
+        if every is None:
+            return None, 0
+        base = self.store.state_dir
+        if base is None:
+            if self._checkpoint_scratch is None:
+                self._checkpoint_scratch = tempfile.mkdtemp(prefix="repro-serve-ckpt-")
+            base = self._checkpoint_scratch
+        return os.path.join(base, f"{job_id}.ckpt"), int(every)  # type: ignore[arg-type]
+
     def _run_route(
         self, job_id: str, params: Dict[str, object], cancel: threading.Event
     ) -> Dict[str, object]:
@@ -592,6 +645,14 @@ class ServeDaemon:
         graph, netlist = build_chip(spec)
         oracle = make_oracle(str(params.get("oracle", "CD")))
         config = _router_config_from_params(params)
+        hook = self._round_hook(job_id, cancel)
+        checkpoint_path, checkpoint_every = self._checkpoint_plan(job_id, params)
+        if checkpoint_path is not None:
+            # Cancellation/progress first, then the durable write: a round
+            # whose checkpoint exists has definitely run its hooks.
+            hook = _chain_hooks(
+                hook, checkpoint_every_hook(checkpoint_path, checkpoint_every)
+            )
         session_name = params.get("session")
         if session_name is not None:
             session_name = str(session_name)
@@ -608,7 +669,7 @@ class ServeDaemon:
                 session = RoutingSession(
                     graph, netlist, oracle, config, name=session_name
                 )
-                result = session.route(on_round_end=self._round_hook(job_id, cancel))
+                result = session.route(on_round_end=hook, resume_from=checkpoint_path)
             except BaseException:
                 with self._sessions_guard:
                     if self.sessions.get(session_name) is None:
@@ -623,7 +684,9 @@ class ServeDaemon:
                 "backend": session.config.engine.backend,
             }
         router = GlobalRouter(graph, netlist, oracle, config)
-        result = router.run(on_round_end=self._round_hook(job_id, cancel))
+        if checkpoint_path is not None:
+            try_resume_router(router, checkpoint_path)
+        result = router.run(on_round_end=hook)
         payload: Dict[str, object] = {
             "result": result.as_dict(),
             "session": None,

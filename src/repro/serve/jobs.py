@@ -119,18 +119,28 @@ class JobStore:
     state_dir:
         When given, every job is mirrored to ``<state_dir>/<job_id>.json``
         on each state change, and existing files are loaded on startup.
-        Jobs found in a non-terminal state were interrupted by a daemon
-        shutdown; they are marked failed rather than silently re-queued.
+    adopt:
+        What happens to jobs found in a non-terminal state (interrupted
+        by a daemon crash or shutdown).  ``False`` (default) marks them
+        failed.  ``True`` re-queues the *re-runnable* ones -- standalone
+        ``route`` jobs, whose runs are pure functions of their params and
+        pick up mid-flow from their auto-checkpoint when they kept one --
+        and records their ids in :attr:`adopted_jobs` so the daemon can
+        resubmit them.  ECO jobs (their session state died with the old
+        daemon) and shard children (their parent coordinates them) are
+        always marked failed.
     """
 
-    def __init__(self, state_dir: Optional[str] = None) -> None:
+    def __init__(self, state_dir: Optional[str] = None, adopt: bool = False) -> None:
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._counter = 0
         self.state_dir = state_dir
+        #: Ids of interrupted jobs re-queued by ``adopt=True``, in id order.
+        self.adopted_jobs: List[str] = []
         if state_dir:
             os.makedirs(state_dir, exist_ok=True)
-            self._load_existing(state_dir)
+            self._load_existing(state_dir, adopt)
 
     # ----------------------------------------------------------- lifecycle
     def submit(self, kind: str, params: Dict[str, object]) -> Job:
@@ -260,7 +270,12 @@ class JobStore:
             json.dump(job.as_dict(with_history=True), handle)
         os.replace(tmp_path, path)
 
-    def _load_existing(self, state_dir: str) -> None:
+    @staticmethod
+    def _adoptable(job: Job) -> bool:
+        """Whether an interrupted job can simply be re-run (see ``adopt``)."""
+        return job.kind == "route" and job.params.get("shard_index") is None
+
+    def _load_existing(self, state_dir: str, adopt: bool = False) -> None:
         for entry in sorted(os.listdir(state_dir)):
             if not entry.endswith(".json"):
                 continue
@@ -271,9 +286,18 @@ class JobStore:
             except (OSError, json.JSONDecodeError, KeyError, ValueError):
                 continue  # unreadable leftovers never block a restart
             if job.status not in JobState.TERMINAL:
-                job.status = JobState.FAILED
-                job.error = "interrupted by daemon shutdown"
-                job.finished_at = job.finished_at or time.time()
+                if adopt and self._adoptable(job):
+                    job.status = JobState.QUEUED
+                    job.error = None
+                    job.result = None
+                    job.started_at = None
+                    job.finished_at = None
+                    job.duration_seconds = None
+                    self.adopted_jobs.append(job.job_id)
+                else:
+                    job.status = JobState.FAILED
+                    job.error = "interrupted by daemon shutdown"
+                    job.finished_at = job.finished_at or time.time()
             self._jobs[job.job_id] = job
             try:
                 number = int(job.job_id.rsplit("-", 1)[-1])

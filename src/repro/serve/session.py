@@ -160,11 +160,21 @@ class RoutingSession:
         if updates:
             self.config = replace(self.config, **updates)  # validated by __post_init__
 
-    def route(self, on_round_end=None) -> RoutingResult:
+    def route(self, on_round_end=None, resume_from: Optional[str] = None) -> RoutingResult:
         """Route the session's current netlist from scratch (records the
-        replay memo log that later ECOs amortise against)."""
+        replay memo log that later ECOs amortise against).
+
+        ``resume_from`` names a checkpoint file: when it exists and is
+        usable, the flow continues from its round counter instead of round
+        0 (see :func:`repro.serve.checkpoint.try_resume_router`); a
+        missing or unusable checkpoint falls back to the full flow.
+        """
         return self._run_flow(
-            self.netlist, self.weight_overrides, replay=None, on_round_end=on_round_end
+            self.netlist,
+            self.weight_overrides,
+            replay=None,
+            on_round_end=on_round_end,
+            resume_from=resume_from,
         )
 
     def apply_eco(
@@ -241,10 +251,17 @@ class RoutingSession:
         overrides: Dict[str, Dict[int, float]],
         replay: Optional[List[RoundMemo]],
         on_round_end=None,
+        resume_from: Optional[str] = None,
     ) -> RoutingResult:
         """Run one flow over ``netlist`` and, only on success, commit it
         (netlist, overrides, router, memo log) as the session's state."""
         router = self._build_router(netlist, overrides)
+        if resume_from is not None:
+            # Imported here: checkpoint sits above the router like this
+            # module, but is only needed on the recovery path.
+            from repro.serve.checkpoint import try_resume_router
+
+            try_resume_router(router, resume_from)
         result = router.run(on_round_end=on_round_end, replay=replay, record_log=True)
         self.netlist = netlist
         self.weight_overrides = overrides

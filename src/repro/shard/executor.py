@@ -47,11 +47,16 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.core.tree import EmbeddedTree
 from repro.engine.cache import RoundMemo
 from repro.engine.engine import RoutingEngine
-from repro.engine.executor import create_worker_pool, validate_start_method
+from repro.engine.executor import (
+    create_worker_pool,
+    discard_broken_pool,
+    run_tasks_with_recovery,
+    validate_start_method,
+)
 from repro.grid.congestion import CongestionMap, CongestionSnapshot
 from repro.grid.graph import RoutingGraph
 
@@ -430,6 +435,13 @@ class ProcessRegionExecutor(RegionExecutor):
         self._pool = None
         self._pool_unavailable = False
         self._serial = SerialRegionExecutor()
+        #: The un-pickled worker payload plus parent-side runner twins,
+        #: built lazily by the recovery path: when a pool worker dies (or a
+        #: chaos fault drops an outcome), the lost region round is routed
+        #: right here in the parent from the same read-only payload the
+        #: workers were primed with.
+        self._worker_payload: Optional[Dict[str, object]] = None
+        self._recovery_runners: Dict[str, _RegionRunner] = {}
 
     # ----------------------------------------------------------- lifecycle
     @property
@@ -444,8 +456,9 @@ class ProcessRegionExecutor(RegionExecutor):
         if self._pool is None and not self._pool_unavailable:
             # Prefer fork (create_worker_pool's default): workers inherit
             # sys.path, which the repo's src/ layout relies on.
+            self._worker_payload = coordinator.region_worker_payload()
             payload = pickle.dumps(
-                coordinator.region_worker_payload(),
+                self._worker_payload,
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
             self._pool = create_worker_pool(
@@ -472,6 +485,13 @@ class ProcessRegionExecutor(RegionExecutor):
             self._pool = None
         super().close()
 
+    def _discard_pool(self) -> None:
+        """Drop a wedged pool without blocking on it; the next round
+        starts a fresh one from the cached worker payload."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            discard_broken_pool(pool)
+
     # ------------------------------------------------------------------ API
     def route_round(self, coordinator, round_index, trees, snapshot,
                     replay_round=None, log_round=None):
@@ -495,7 +515,33 @@ class ProcessRegionExecutor(RegionExecutor):
             )
             for region in coordinator.regions
         ]
-        outcomes = pool.map(_route_region, tasks)
+        plan = faults.get_plan()
+        sabotage = None
+        if plan is not None and plan.should("kill-region-worker", round_index):
+            sabotage = faults.kill_pool_worker
+        outcomes, pool_broken = run_tasks_with_recovery(
+            pool,
+            _route_region,
+            tasks,
+            retry=self._route_region_inline,
+            backend="region-process",
+            sabotage=sabotage,
+        )
+        if pool_broken or sabotage is not None:
+            # A sabotaged pool is discarded even when no death was observed
+            # during the call: a worker killed after its last task leaves no
+            # pending work to recover, but it may die holding the shared
+            # task-queue lock and wedge the next dispatch with no observable
+            # deaths (the pool respawns its _pool entry).
+            self._discard_pool()
+        if plan is not None and plan.should("drop-outcome", round_index):
+            # Discard one cleanly collected outcome: exercises the
+            # in-process re-execution path without involving the pool.
+            outcomes[0] = None
+        for index, outcome in enumerate(outcomes):
+            if outcome is None:
+                outcomes[index] = self._route_region_inline(tasks[index])
+                obs.inc("recovery.outcome_recomputed")
         deltas: List[np.ndarray] = []
         reports: List[Tuple[int, int, int, int, float]] = []
         # Apply in fixed region order regardless of worker completion order.
@@ -520,6 +566,32 @@ class ProcessRegionExecutor(RegionExecutor):
                 seconds=round(float(outcome.report[4]), 6),
             )
         return deltas, reports
+
+    def _route_region_inline(self, task: RegionTask) -> RegionOutcome:
+        """Route one region's round in the parent process.
+
+        The recovery path of this executor: runner twins are rebuilt from
+        the same read-only payload the pool workers were primed with, and
+        a :class:`RegionTask` is a pure function of that payload -- so the
+        outcome is bit-identical to what the lost worker would have
+        shipped.  The runner cache mirrors the per-worker cache (runners
+        are round-stateless, see :class:`_RegionRunner`).  Oracle counters
+        land in the parent registry directly; ``metrics`` stays ``None``.
+        """
+        payload = self._worker_payload
+        assert payload is not None, "recovery before any pool round"
+        runner = self._recovery_runners.get(task.key)
+        if runner is None:
+            runner = _RegionRunner(
+                payload["regions"][task.key],  # type: ignore[index]
+                payload["oracle"],
+                payload["bifurcation"],
+                payload["seed"],  # type: ignore[arg-type]
+                payload["overflow_penalty"],  # type: ignore[arg-type]
+                payload["threshold"],  # type: ignore[arg-type]
+            )
+            self._recovery_runners[task.key] = runner
+        return runner.route(task)
 
 
 def make_region_executor(

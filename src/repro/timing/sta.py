@@ -16,8 +16,8 @@ level of the linear delay model used before buffering.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["StaticTimingAnalysis", "TimingReport", "StageEdge"]
 

@@ -16,7 +16,6 @@ from repro.core.objective import evaluate_tree
 from repro.core.shortest_path import dijkstra
 from repro.core.instance import SteinerInstance
 from repro.grid.geometry import planar_l1
-from repro.grid.graph import build_grid_graph
 
 from tests.conftest import make_instance
 

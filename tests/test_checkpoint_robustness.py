@@ -1,0 +1,221 @@
+"""Checkpoint robustness: corruption matrix, atomic-write crash simulation.
+
+The loader's contract (see DESIGN.md, "Recovery contract"): a checkpoint
+that cannot be restored -- truncated, corrupt, empty, wrong format, wrong
+version -- always surfaces as :class:`CheckpointError` naming the path,
+never as a raw ``JSONDecodeError``/``KeyError``/``ValueError`` out of the
+decoding internals.  ``try_resume_router`` additionally degrades any such
+error to a warned fresh start, which is what lets a restarted daemon
+re-adopt a job whose checkpoint died with the machine.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cost_distance import CostDistanceSolver
+from repro.grid.graph import build_grid_graph
+from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
+from repro.router.router import GlobalRouter, GlobalRouterConfig
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    checkpoint_every_hook,
+    load_checkpoint,
+    resume_router,
+    save_checkpoint,
+    try_resume_router,
+)
+
+
+def make_router(num_rounds=2, seed=31):
+    graph = build_grid_graph(10, 10, 3)
+    netlist = generate_netlist(
+        graph, NetlistGeneratorConfig(num_nets=10), seed=seed, name=f"ckpt{seed}"
+    )
+    return GlobalRouter(
+        graph, netlist, CostDistanceSolver(), GlobalRouterConfig(num_rounds=num_rounds)
+    )
+
+
+@pytest.fixture
+def checkpoint_path(tmp_path):
+    router = make_router()
+    router.run()
+    path = str(tmp_path / "run.ckpt")
+    save_checkpoint(router, path)
+    return path
+
+
+class TestCorruptionMatrix:
+    """Every way a checkpoint file can be broken maps to CheckpointError."""
+
+    def _assert_clear_error(self, path):
+        with pytest.raises(CheckpointError) as excinfo:
+            load_checkpoint(path)
+        assert path in str(excinfo.value)
+
+    def test_truncated_json(self, checkpoint_path):
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(checkpoint_path, "w", encoding="utf-8") as handle:
+            handle.write(text[: len(text) // 2])
+        self._assert_clear_error(checkpoint_path)
+
+    def test_truncated_state(self, checkpoint_path):
+        """Valid JSON, valid header, missing state keys -- the case a raw
+        KeyError used to leak from."""
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        del document["state"]["edge_prices"]
+        with open(checkpoint_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        self._assert_clear_error(checkpoint_path)
+
+    def test_mangled_array_encoding(self, checkpoint_path):
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["state"]["edge_prices"] = {"dtype": "float64", "shape": "oops"}
+        with open(checkpoint_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        self._assert_clear_error(checkpoint_path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = str(tmp_path / "garbage.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\xff\xfe not json at all \x13\x37")
+        self._assert_clear_error(path)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.ckpt")
+        open(path, "w").close()
+        self._assert_clear_error(path)
+
+    def test_non_dict_document(self, tmp_path):
+        path = str(tmp_path / "list.ckpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([1, 2, 3], handle)
+        self._assert_clear_error(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = str(tmp_path / "other.ckpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "something-else", "version": 1}, handle)
+        self._assert_clear_error(path)
+
+    def test_wrong_version(self, checkpoint_path):
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["version"] = CHECKPOINT_VERSION + 1
+        with open(checkpoint_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        self._assert_clear_error(checkpoint_path)
+
+    def test_missing_file_is_not_an_error_on_resume(self, tmp_path):
+        router = make_router()
+        assert resume_router(router, str(tmp_path / "never-written.ckpt")) is False
+
+    def test_intact_checkpoint_still_loads(self, checkpoint_path):
+        checkpoint = load_checkpoint(checkpoint_path)
+        assert checkpoint.rounds_completed == 2
+        assert checkpoint.fingerprint["num_rounds"] == 2
+
+
+class TestTryResume:
+    """try_resume_router: corrupt -> warned fresh start, usable -> resume."""
+
+    def test_corrupt_checkpoint_degrades_to_fresh_start(self, tmp_path, caplog):
+        import logging
+
+        path = str(tmp_path / "bad.ckpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        router = make_router()
+        with caplog.at_level(logging.WARNING, logger="repro.serve.checkpoint"):
+            assert try_resume_router(router, path) is False
+        assert router.rounds_completed == 0
+        messages = [rec.getMessage() for rec in caplog.records]
+        assert any("ignoring unusable checkpoint" in m for m in messages)
+
+    def test_missing_checkpoint_is_silent(self, tmp_path, caplog):
+        import logging
+
+        router = make_router()
+        with caplog.at_level(logging.WARNING, logger="repro.serve.checkpoint"):
+            assert try_resume_router(router, str(tmp_path / "missing.ckpt")) is False
+        assert caplog.records == []
+
+    def test_usable_checkpoint_resumes(self, checkpoint_path):
+        router = make_router()
+        assert try_resume_router(router, checkpoint_path) is True
+        assert router.rounds_completed == 2
+
+
+class TestAtomicWriteCrash:
+    """A crash between tmp write and rename leaves only the tmp file; the
+    loader never looks at tmp files, so the run restarts (or resumes from
+    the previous intact checkpoint)."""
+
+    def test_orphaned_tmp_file_is_ignored(self, tmp_path):
+        # Simulate the crash window: tmp present, final path absent.
+        tmp_file = tmp_path / ".checkpoint-abc123"
+        tmp_file.write_text('{"format": "repro-checkpoint", "version": 2, "trunc')
+        final = str(tmp_path / "run.ckpt")
+        router = make_router()
+        assert resume_router(router, final) is False
+        assert router.rounds_completed == 0
+
+    def test_failed_save_leaves_previous_checkpoint_intact(
+        self, checkpoint_path, monkeypatch
+    ):
+        """os.replace is the commit point: when the write before it fails,
+        the previous checkpoint file is untouched and still loads."""
+        before = load_checkpoint(checkpoint_path)
+        router = make_router()
+        router.run()
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(json, "dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(router, checkpoint_path)
+        monkeypatch.undo()
+        after = load_checkpoint(checkpoint_path)
+        assert after.fingerprint == before.fingerprint
+        assert after.rounds_completed == before.rounds_completed
+        # ...and the aborted write left no tmp litter behind.
+        directory = os.path.dirname(checkpoint_path)
+        assert [f for f in os.listdir(directory) if f.startswith(".checkpoint-")] == []
+
+
+class TestCheckpointEveryHook:
+    def test_interval_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            checkpoint_every_hook(str(tmp_path / "x.ckpt"), 0)
+
+    @pytest.mark.parametrize("every,expected_saves", [(1, 3), (2, 2), (3, 1), (5, 1)])
+    def test_save_cadence(self, tmp_path, every, expected_saves):
+        """Every N rounds, plus always the final round."""
+        saves = []
+        path = str(tmp_path / "cadence.ckpt")
+        hook = checkpoint_every_hook(path, every)
+        router = make_router(num_rounds=3)
+
+        def counting_hook(router, round_index):
+            hook(router, round_index)
+            if os.path.exists(path):
+                saves.append(load_checkpoint(path).rounds_completed)
+                os.unlink(path)
+
+        router.run(on_round_end=counting_hook)
+        assert len(saves) == expected_saves
+        assert saves[-1] == 3  # the final round is always checkpointed
+
+    def test_document_format_is_versioned(self, checkpoint_path):
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["format"] == CHECKPOINT_FORMAT
+        assert document["version"] == CHECKPOINT_VERSION

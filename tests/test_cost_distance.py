@@ -2,12 +2,11 @@
 
 import random
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bifurcation import BifurcationModel
-from repro.core.cost_distance import CostDistanceConfig, CostDistanceSolver, ROOT_ID
+from repro.core.cost_distance import CostDistanceConfig, CostDistanceSolver
 from repro.core.instance import SteinerInstance
 from repro.core.objective import evaluate_tree
 from repro.core.shortest_path import dijkstra

@@ -1,0 +1,128 @@
+"""Tests for the ECO stream generator and the soak endurance harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cost_distance import CostDistanceSolver
+from repro.grid.graph import build_grid_graph
+from repro.instances.eco import parse_ops
+from repro.instances.eco_stream import EcoStreamConfig, generate_eco_stream
+from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
+from repro.router.router import GlobalRouterConfig
+from repro.serve.session import RoutingSession
+from repro.serve.soak import build_parser, run_soak
+
+SWEEP = os.environ.get("REPRO_TEST_SWEEP") == "1"
+SEEDS = (0, 1, 7) if SWEEP else (0,)
+
+
+def make_design(seed=5, num_nets=12):
+    graph = build_grid_graph(12, 12, 3)
+    netlist = generate_netlist(
+        graph, NetlistGeneratorConfig(num_nets=num_nets), seed=seed, name=f"eco{seed}"
+    )
+    return graph, netlist
+
+
+class TestConfig:
+    def test_rejects_nonpositive_ops(self):
+        with pytest.raises(ValueError, match="ops"):
+            EcoStreamConfig(ops=0)
+
+    def test_rejects_nonpositive_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            EcoStreamConfig(batch_size=0)
+
+    def test_rejects_nonpositive_max_new_sinks(self):
+        with pytest.raises(ValueError, match="max_new_sinks"):
+            EcoStreamConfig(max_new_sinks=-1)
+
+
+class TestGenerator:
+    def test_batch_shape(self):
+        graph, netlist = make_design()
+        batches = generate_eco_stream(
+            netlist, graph, EcoStreamConfig(ops=23, batch_size=5, seed=0)
+        )
+        assert sum(len(batch) for batch in batches) == 23
+        assert [len(batch) for batch in batches] == [5, 5, 5, 5, 3]
+
+    def test_deterministic(self):
+        graph, netlist = make_design()
+        config = EcoStreamConfig(ops=40, batch_size=4, seed=9)
+        first = generate_eco_stream(netlist, graph, config)
+        second = generate_eco_stream(netlist, graph, config)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        graph, netlist = make_design()
+        one = generate_eco_stream(netlist, graph, EcoStreamConfig(ops=40, seed=1))
+        two = generate_eco_stream(netlist, graph, EcoStreamConfig(ops=40, seed=2))
+        assert one != two
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_every_batch_applies_cleanly(self, seed):
+        """The generator's contract: replaying the stream never raises,
+        even though later batches reference nets/sinks added earlier."""
+        graph, netlist = make_design(seed=seed)
+        batches = generate_eco_stream(
+            netlist, graph, EcoStreamConfig(ops=60, batch_size=5, seed=seed)
+        )
+        session = RoutingSession(
+            graph, netlist, CostDistanceSolver(), GlobalRouterConfig(num_rounds=1)
+        )
+        session.route()
+        for batch in batches:
+            parse_ops(batch)  # wire-format dicts are well-formed
+            session.apply_eco(batch)
+
+    def test_covers_all_op_kinds(self):
+        graph, netlist = make_design()
+        batches = generate_eco_stream(
+            netlist, graph, EcoStreamConfig(ops=300, batch_size=5, seed=3)
+        )
+        kinds = {op["op"] for batch in batches for op in batch}
+        assert kinds == {
+            "move_pin",
+            "add_sink",
+            "remove_sink",
+            "add_net",
+            "remove_net",
+            "reweight_sink",
+        }
+
+    def test_input_netlist_not_mutated(self):
+        graph, netlist = make_design()
+        names_before = [net.name for net in netlist.nets]
+        sinks_before = {net.name: len(net.sinks) for net in netlist.nets}
+        generate_eco_stream(netlist, graph, EcoStreamConfig(ops=80, seed=4))
+        assert [net.name for net in netlist.nets] == names_before
+        assert {net.name: len(net.sinks) for net in netlist.nets} == sinks_before
+
+
+class TestSoakHarness:
+    @pytest.mark.slow
+    def test_soak_smoke_parity(self, tmp_path):
+        """A tiny faulted soak run reaches parity with its clean twin."""
+        args = build_parser().parse_args(
+            [
+                "--chip", "c1",
+                "--net-scale", "0.08",
+                "--rounds", "2",
+                "--ops", "10",
+                "--batch-size", "5",
+                "--shards", "2",
+                "--shard-workers", "2",
+                "--inject", "kill-region-worker:round=2",
+                "--inject", "slow-oracle:ms=1",
+            ]
+        )
+        report = run_soak(args)
+        assert report["parity"] is True, report["mismatches"]
+        assert report["mismatches"] == []
+        assert report["flows"] == 1 + report["batches"]
+        assert report["fault_counters"].get("fault.injected", 0) >= 1
+        # The report is the CLI's stdout document -- it must be JSON-clean.
+        json.dumps(report)

@@ -5,9 +5,9 @@ import pytest
 
 from repro.core.bifurcation import BifurcationModel
 from repro.core.cost_distance import CostDistanceSolver
-from repro.core.instance import SteinerInstance, instance_signature
+from repro.core.instance import SteinerInstance
 from repro.engine.cache import RerouteCache
-from repro.engine.engine import EngineConfig, RoutingEngine
+from repro.engine.engine import EngineConfig
 from repro.engine.executor import (
     NetTask,
     ProcessExecutor,

@@ -1,6 +1,5 @@
 """Tests for the addressable and two-level heaps."""
 
-import heapq
 import random
 
 import pytest
@@ -78,7 +77,6 @@ class TestAddressableBinaryHeap:
     def test_random_stress_against_heapq(self):
         rng = random.Random(7)
         heap = AddressableBinaryHeap()
-        mirror = []
         alive = {}
         for step in range(500):
             op = rng.random()

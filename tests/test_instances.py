@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core.bifurcation import BifurcationModel
 from repro.grid.graph import build_grid_graph
-from repro.instances.chips import CHIP_SUITE, ChipSpec, build_chip, chip_table
+from repro.instances.chips import CHIP_SUITE, build_chip, chip_table
 from repro.instances.generator import (
     DEFAULT_SIZE_DISTRIBUTION,
     NetlistGeneratorConfig,

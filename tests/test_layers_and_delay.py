@@ -1,6 +1,5 @@
 """Tests for the layer stack, the repeater-chain model and the delay model."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -5,7 +5,6 @@ clamping at ``max_edge_price``, convergence of the smoothed delay-weight
 updates, and the infinite-slack fallback to ``base_delay_weight``.
 """
 
-import math
 
 import numpy as np
 import pytest

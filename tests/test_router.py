@@ -8,7 +8,6 @@ from repro.baselines.rsmt import RectilinearSteinerOracle
 from repro.grid.congestion import CongestionMap
 from repro.grid.geometry import GridPoint
 from repro.grid.graph import build_grid_graph
-from repro.instances.generator import NetlistGeneratorConfig, generate_netlist
 from repro.router.metrics import RoutingResult, format_result_row
 from repro.router.netlist import Net, Netlist, Pin, Stage
 from repro.router.resource_sharing import ResourceSharingConfig, ResourceSharingPrices

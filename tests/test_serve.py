@@ -1,7 +1,6 @@
 """Tests for the routing service layer (checkpoint, sessions, jobs, daemon)."""
 
 import json
-import threading
 
 import pytest
 
@@ -383,7 +382,7 @@ class TestRoutingSession:
     def test_successive_ecos_keep_amortising(self):
         session = self.make_session()
         session.route()
-        first = session.apply_eco([MovePin("n3", "n3:s0", 9, 8, 0)])
+        session.apply_eco([MovePin("n3", "n3:s0", 9, 8, 0)])
         second = session.apply_eco([MovePin("n3", "n3:s0", 9, 9, 0)])
         assert second.nets_reused > 0
         assert session.generation == 3
@@ -393,7 +392,7 @@ class TestRoutingSession:
     def test_cancelled_eco_leaves_session_untouched(self):
         """A delta is committed only after its re-route completes."""
         session = self.make_session()
-        baseline = session.route()
+        session.route()
 
         class Cancelled(Exception):
             pass

@@ -15,7 +15,7 @@ from repro.instances.chips import CHIP_SUITE, build_chip
 from repro.router.metrics import PARITY_FIELDS, RoutingResult
 from repro.router.netlist import Net, Netlist, Pin
 from repro.router.router import GlobalRouter, GlobalRouterConfig
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient
 from repro.serve.daemon import ServeDaemon
 from repro.serve.session import RoutingSession
 from repro.shard.coordinator import ShardCoordinator

@@ -65,7 +65,10 @@ class TestDijkstra:
     def test_backtracking_unreached_raises(self, small_graph):
         g = small_graph
         source = g.node_index(0, 0, 0)
-        blocked = lambda node: node == source
+
+        def blocked(node):
+            return node == source
+
         dist, parent = dijkstra(g, g.base_cost_array(), {source: 0.0}, node_filter=blocked)
         with pytest.raises(ValueError):
             shortest_path_edges(g, parent, {source}, g.node_index(5, 5, 0))
