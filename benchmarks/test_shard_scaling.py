@@ -6,11 +6,11 @@ classic single-region flow, through the shard coordinator at K=4, and
 through the region-parallel shard backend (K=4 on a 2-worker process pool),
 and records
 
-* the wall-clock speedup of the sharded flow (best of three runs per mode,
+* the wall-clock ratio of the sharded flow (best of three runs per mode,
   so a noisy neighbour cannot manufacture or hide a regression),
 * the *stacked* speedup of the region pool over the serial shard loop --
   the regions of one round are independent, so on a multi-core machine the
-  pool win multiplies the ~1.6x subgraph win,
+  pool overlaps them,
 * the quality deltas the decomposition costs: wire length, overflow and
   ACE4 against the 1-shard baseline (the seam stitching keeps these small),
 * the interior/seam split of the partition.
@@ -19,6 +19,11 @@ Sharding is a *large-design* feature: the per-region subgraphs amortise the
 per-net full-graph costs, which only dominates past a minimum design size.
 The net-count scale therefore floors ``REPRO_BENCH_SCALE`` at 0.8 -- scaling
 the large chip down to smoke size would benchmark the wrong workload class.
+Historically the serial shard loop beat the single-region flow ~1.6x on
+wall clock, because every net paid O(full-graph-edges) conversions that the
+subgraphs shrank; the vectorized routing-state kernel now amortises those
+costs at batch level for *every* flow, so serial shards run at parity with
+the base flow and the region pool is the remaining wall-clock lever.
 
 Two parity checks assert the shard machinery itself is lossless: the
 region-parallel run must equal the serial shard run bit for bit on every
@@ -157,10 +162,13 @@ def test_shard_scaling_and_seam_quality(benchmark):
     # The seam stitching keeps the quality close to the unsharded flow.
     assert abs(sharded.wire_length - base.wire_length) <= 0.02 * base.wire_length
     assert sharded.overflow <= base.overflow + 0.05 * max(base.overflow, 1.0)
-    # Divide-and-conquer must actually pay on the large-design class.  The
-    # measured best-of-three ratio is ~1.55-1.75x on an idle machine; 1.25 is
-    # the regression floor that still fails if the subgraph path breaks.
-    assert speedup >= 1.25, f"shard speedup collapsed: {speedup:.2f}x"
+    # Serial shards must stay at wall-clock parity with the base flow.  The
+    # historical ~1.6x serial-shard win came from amortising per-net
+    # full-graph conversions that the vectorized routing-state kernel now
+    # removes from every flow; the measured best-of-three ratio is ~0.95-1.1x
+    # on an idle machine, and 0.85 is the regression floor that still fails
+    # if the subgraph path starts actively costing time.
+    assert speedup >= 0.85, f"shard walltime regressed vs base: {speedup:.2f}x"
     # The region pool must stack on top of that -- but only where it can:
     # a live pool on a multi-core host.
     if pool_live and cores >= 2:

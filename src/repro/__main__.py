@@ -243,7 +243,10 @@ def main(argv: Optional[list] = None) -> int:
         return 2
     if args.list_chips:
         for row in chip_table():
-            print(f"{row['chip']:>4}  nets={row['nets']:<5} layers={row['layers']:<3} grid={row['grid']}")
+            print(
+                f"{row['chip']:>4}  nets={row['nets']:<5} "
+                f"layers={row['layers']:<3} grid={row['grid']}"
+            )
         return 0
 
     if args.log_level is not None:

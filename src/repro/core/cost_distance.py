@@ -231,8 +231,17 @@ class CostDistanceSolver(SteinerOracle):
         config = self.config
         rng = rng if rng is not None else random.Random(config.seed)
         graph = instance.graph
-        cost = instance.cost.tolist()
-        delay = instance.delay.tolist()
+        # One batch routes many nets against one cost vector; the context
+        # (when attached and covering these exact arrays) shares the O(edges)
+        # list conversions and the future-cost estimator across the batch.
+        ctx = instance.context
+        if ctx is not None and ctx.covers(instance.cost, instance.delay):
+            cost = ctx.cost_list()
+            delay = ctx.delay_list()
+        else:
+            ctx = None
+            cost = instance.cost.tolist()
+            delay = instance.delay.tolist()
         bif = instance.bifurcation
         root_node = instance.root
 
@@ -288,11 +297,14 @@ class CostDistanceSolver(SteinerOracle):
 
         estimator: Optional[FutureCostEstimator] = None
         if config.use_future_costs or config.improved_steiner_placement:
-            estimator = FutureCostEstimator(
-                graph,
-                cost_lower_bound=instance.cost,
-                num_landmarks=config.num_landmarks,
-            )
+            if ctx is not None:
+                estimator = ctx.estimator(config.num_landmarks)
+            else:
+                estimator = FutureCostEstimator(
+                    graph,
+                    cost_lower_bound=instance.cost,
+                    num_landmarks=config.num_landmarks,
+                )
 
         next_tid = 0
         total_active_weight = 0.0
@@ -313,6 +325,11 @@ class CostDistanceSolver(SteinerOracle):
         else:
             pot_cost_rate = pot_delay_rate = 0.0
 
+        # Nearest-target L1 distances, memoised per node between target
+        # refreshes: the target set only changes at merges, and the searches
+        # re-touch the same nodes many times in between.
+        l1_cache: Dict[int, float] = {}
+
         def refresh_targets() -> None:
             target_positions.clear()
             target_positions.append(root_node)
@@ -324,6 +341,7 @@ class CostDistanceSolver(SteinerOracle):
             xs = [c[0] for c in target_coords]
             ys = [c[1] for c in target_coords]
             target_bbox[:] = [min(xs), max(xs), min(ys), max(ys)]
+            l1_cache.clear()
 
         def potential(tid: int, node: int) -> float:
             """Admissible potential towards the current target set.
@@ -334,23 +352,26 @@ class CostDistanceSolver(SteinerOracle):
             """
             if estimator is None or not config.use_future_costs:
                 return 0.0
-            rest = node % planar_tiles
-            ax = rest % grid_nx
-            ay = rest // grid_nx
-            if len(target_coords) <= 8:
-                best = None
-                for bx, by in target_coords:
-                    d = abs(ax - bx) + abs(ay - by)
-                    if best is None or d < best:
-                        best = d
-                        if best == 0:
-                            break
-                l1 = float(best or 0)
-            else:
-                xmin, xmax, ymin, ymax = target_bbox
-                dx = max(0, xmin - ax, ax - xmax)
-                dy = max(0, ymin - ay, ay - ymax)
-                l1 = float(dx + dy)
+            l1 = l1_cache.get(node)
+            if l1 is None:
+                rest = node % planar_tiles
+                ax = rest % grid_nx
+                ay = rest // grid_nx
+                if len(target_coords) <= 8:
+                    best = None
+                    for bx, by in target_coords:
+                        d = abs(ax - bx) + abs(ay - by)
+                        if best is None or d < best:
+                            best = d
+                            if best == 0:
+                                break
+                    l1 = float(best or 0)
+                else:
+                    xmin, xmax, ymin, ymax = target_bbox
+                    dx = max(0, xmin - ax, ax - xmax)
+                    dy = max(0, ymin - ay, ay - ymax)
+                    l1 = float(dx + dy)
+                l1_cache[node] = l1
             return l1 * (pot_cost_rate + searches[tid].weight * pot_delay_rate)
 
         def merge_penalty(source_tid: int, owner: int) -> float:
@@ -399,6 +420,7 @@ class CostDistanceSolver(SteinerOracle):
         num_labels = 0
         num_pops = 0
         iteration = 0
+        infinity = float("inf")
 
         while active:
             if not queue:
@@ -499,7 +521,7 @@ class CostDistanceSolver(SteinerOracle):
                 else:
                     edge_cost = cost[edge]
                 candidate = dist + edge_cost + weight * delay[edge]
-                if candidate < tentative.get(other, float("inf")):
+                if candidate < tentative.get(other, infinity):
                     tentative[other] = candidate
                     parent[other] = edge
                     queue.push(tid, other, candidate + potential(tid, other))

@@ -15,13 +15,16 @@ from __future__ import annotations
 import hashlib
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.bifurcation import BifurcationModel
 from repro.grid.geometry import GridPoint
 from repro.grid.graph import RoutingGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.core.costctx import OracleCostContext
 
 __all__ = ["SteinerInstance", "instance_signature"]
 
@@ -92,6 +95,12 @@ class SteinerInstance:
         The bifurcation penalty model (``dbif``, ``eta``).
     name:
         Optional identifier used in reports.
+    context:
+        Optional :class:`~repro.core.costctx.OracleCostContext` sharing
+        batch-level artefacts (list conversions, future-cost estimators,
+        validation) across every net routed against the same cost vector.
+        Only consulted when its arrays are identical (``is``) to this
+        instance's ``cost``/``delay``; it never changes results.
     """
 
     graph: RoutingGraph
@@ -102,6 +111,7 @@ class SteinerInstance:
     delay: np.ndarray
     bifurcation: BifurcationModel = field(default_factory=BifurcationModel.disabled)
     name: str = ""
+    context: Optional["OracleCostContext"] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.sinks = list(self.sinks)
@@ -112,8 +122,14 @@ class SteinerInstance:
             raise ValueError("sinks and weights must have the same length")
         if len(self.cost) != self.graph.num_edges or len(self.delay) != self.graph.num_edges:
             raise ValueError("cost/delay vectors must have one entry per graph edge")
-        if np.any(self.cost < 0) or np.any(self.delay < 0):
-            raise ValueError("edge costs and delays must be non-negative")
+        ctx = self.context
+        if ctx is not None and ctx.covers(self.cost, self.delay):
+            # Batch-level validation: same scans, run once per cost vector.
+            ctx.validate()
+        else:
+            self.context = None
+            if np.any(self.cost < 0) or np.any(self.delay < 0):
+                raise ValueError("edge costs and delays must be non-negative")
         if any(w < 0 for w in self.weights):
             raise ValueError("sink delay weights must be non-negative")
         nodes = [self.root] + self.sinks
@@ -172,6 +188,7 @@ class SteinerInstance:
         graph: RoutingGraph,
         payload: Dict[str, object],
         delay: Optional[np.ndarray] = None,
+        context: Optional["OracleCostContext"] = None,
     ) -> "SteinerInstance":
         """Build an instance from a picklable, graph-free payload dict.
 
@@ -191,6 +208,7 @@ class SteinerInstance:
             delay=graph.delay_array() if delay is None else delay,
             bifurcation=payload["bifurcation"],  # type: ignore[arg-type]
             name=str(payload.get("name", "")),
+            context=context,
         )
 
     # ---------------------------------------------------------- derivation
@@ -205,6 +223,7 @@ class SteinerInstance:
             delay=self.delay,
             bifurcation=bifurcation,
             name=self.name,
+            context=self.context,
         )
 
     def with_costs(self, cost: np.ndarray) -> "SteinerInstance":

@@ -12,6 +12,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.grid.graph import RoutingGraph
 
 __all__ = ["Arborescence", "EmbeddedTree"]
@@ -149,19 +151,38 @@ class EmbeddedTree:
         return Arborescence(self.root, parent_node, parent_edge, children, order)
 
     # -------------------------------------------------------------- metrics
+    def edges_array(self) -> "np.ndarray":
+        """The tree's edge indices as a cached contiguous int64 array.
+
+        The array backs every metric fancy-index below; it is created on
+        first use and never mutated (the dataclass is frozen, so the cache
+        is attached via ``object.__setattr__``).
+        """
+        try:
+            return self._edges_array
+        except AttributeError:
+            arr = np.asarray(self.edges, dtype=np.int64)
+            arr.setflags(write=False)
+            object.__setattr__(self, "_edges_array", arr)
+            return arr
+
     def wire_length(self) -> float:
         """Total routed wire length (sum of edge lengths, vias contribute 0)."""
-        length = self.graph.edge_length
-        return float(sum(length[e] for e in self.edges))
+        if not self.edges:
+            return 0.0
+        return float(self.graph.edge_length[self.edges_array()].sum())
 
     def via_count(self) -> int:
         """Number of via edges used by the tree."""
-        is_via = self.graph.edge_is_via
-        return int(sum(1 for e in self.edges if is_via[e]))
+        if not self.edges:
+            return 0
+        return int(np.count_nonzero(self.graph.edge_is_via[self.edges_array()]))
 
     def congestion_cost(self, cost: Sequence[float]) -> float:
         """Total connection cost of the tree under the cost vector ``cost``."""
-        return float(sum(cost[e] for e in self.edges))
+        if not self.edges:
+            return 0.0
+        return float(np.asarray(cost, dtype=np.float64)[self.edges_array()].sum())
 
     def num_branch_nodes(self) -> int:
         """Number of tree nodes with degree at least 3 (branching points)."""

@@ -220,7 +220,9 @@ class RoutingEngine:
         report = RoundReport(round_index=round_index)
         started = time.monotonic()
         collected: List[SteinerInstance] = []
-        delay = self.graph.delay_array()
+        # Only the record path needs a private delay copy (and only when no
+        # batch context supplies the executor's shared one).
+        record_delay = self.graph.delay_array() if record else None
         for batch in self._batches:
             with obs.span(
                 "batch",
@@ -231,6 +233,12 @@ class RoutingEngine:
                 report.num_batches += 1
                 snapshot = self.congestion.snapshot()
                 costs = snapshot.edge_costs(self.prices.edge_prices)
+                # One shared cost context per batch: list conversions,
+                # future-cost estimator, and validation amortise over every
+                # net routed against this vector (None in reference mode).
+                context = self.executor.make_context(costs)
+                if context is not None:
+                    costs = context.cost
                 # Signature ingredients that are constant across the batch: the
                 # bbox scope folds in the global cost floor, the global scope
                 # the full-vector digest.  Compute each once, not per net.
@@ -246,7 +254,9 @@ class RoutingEngine:
                 for net_index in batch.nets:
                     task = self._make_task(net_index)
                     if record:
-                        collected.append(self._record_instance(task, costs, delay))
+                        collected.append(
+                            self._record_instance(task, costs, record_delay, context)
+                        )
                     if self.cache is not None:
                         old_tree = trees[net_index]
                         sig = self.cache.signature(
@@ -287,7 +297,7 @@ class RoutingEngine:
                             report.nets_cached += 1
                             continue
                     tasks.append(task)
-                routed = self.executor.route_batch(costs, tasks) if tasks else {}
+                routed = self.executor.route_batch(costs, tasks, context) if tasks else {}
                 tasks_by_index = {task.net_index: task for task in tasks}
                 for net_index in batch.nets:
                     new_tree = routed.get(net_index)
@@ -379,8 +389,18 @@ class RoutingEngine:
         )
 
     def _record_instance(
-        self, task: NetTask, costs: np.ndarray, delay: np.ndarray
+        self,
+        task: NetTask,
+        costs: np.ndarray,
+        delay: Optional[np.ndarray],
+        context=None,
     ) -> SteinerInstance:
+        # Recorded instances travel (pickling, persistence), so they do not
+        # carry the batch context -- only its shared delay array.
+        if context is not None and context.delay is not None:
+            delay = context.delay
+        elif delay is None:  # pragma: no cover - defensive
+            delay = self.graph.delay_array()
         return SteinerInstance.from_payload(
             self.graph, task.payload(costs, self.bifurcation), delay=delay
         )

@@ -42,11 +42,11 @@ def ace(congestion: Sequence[float], percent: float) -> float:
         The average congestion of the selected edges as a *percentage*
         (the paper reports ACE4 values like ``88.07``).
     """
-    values = np.asarray(list(congestion), dtype=float)
-    if values.size == 0:
-        return 0.0
     if not 0 < percent <= 100:
         raise ValueError("percent must be in (0, 100]")
+    values = _as_float_array(congestion)
+    if values.size == 0:
+        return 0.0
     count = max(1, int(math.ceil(values.size * percent / 100.0)))
     worst = np.sort(values)[-count:]
     return float(np.mean(worst) * 100.0)
@@ -54,8 +54,33 @@ def ace(congestion: Sequence[float], percent: float) -> float:
 
 def ace4(congestion: Sequence[float]) -> float:
     """The ACE4 metric: mean of ACE(0.5), ACE(1), ACE(2) and ACE(5)."""
-    values = list(congestion)
+    values = _as_float_array(congestion)
     return 0.25 * (ace(values, 0.5) + ace(values, 1.0) + ace(values, 2.0) + ace(values, 5.0))
+
+
+def _as_float_array(values: Sequence[float]) -> np.ndarray:
+    """Coerce a congestion sequence to a float64 ndarray without copying.
+
+    Float64 ndarray input is returned as-is (a no-copy view), so ``ace4``
+    materialises the sequence exactly once and the four nested ``ace`` calls
+    share it.  Generators and lists are materialised the one required time.
+    """
+    if isinstance(values, np.ndarray):
+        return values.astype(np.float64, copy=False)
+    return np.asarray(list(values), dtype=np.float64)
+
+
+def _edge_index_array(edge_indices: Iterable[int]) -> np.ndarray:
+    """Coerce an edge-index iterable to a contiguous int64 array.
+
+    ndarray input is converted without copying when already int64; anything
+    else (lists, tuples, generators) is materialised once.
+    """
+    if isinstance(edge_indices, np.ndarray):
+        return edge_indices.astype(np.int64, copy=False)
+    if isinstance(edge_indices, (list, tuple)):
+        return np.asarray(edge_indices, dtype=np.int64)
+    return np.fromiter(edge_indices, dtype=np.int64)
 
 
 def _priced_edge_costs(
@@ -72,8 +97,14 @@ def _priced_edge_costs(
     for identical usage -- the engine's serial/parallel parity depends on it.
     """
     congestion = usage / graph.edge_capacity
-    factor = np.exp(overflow_penalty * np.clip(congestion - threshold, 0.0, None))
-    costs = graph.edge_base_cost * factor
+    over = congestion - threshold
+    hot = np.flatnonzero(over > 0.0)
+    # exp(0) == 1.0 exactly and x * 1.0 == x, so edges at or below the
+    # threshold keep their base cost bit-for-bit; the exponential only has
+    # to run over the (typically sparse) congested subset.
+    costs = graph.edge_base_cost.copy()
+    if hot.size:
+        costs[hot] = graph.edge_base_cost[hot] * np.exp(overflow_penalty * over[hot])
     if prices is not None:
         if prices.shape != costs.shape:
             raise ValueError("prices array has wrong shape")
@@ -147,20 +178,39 @@ class CongestionMap:
 
         ``amount`` defaults to the base resource cost of each edge (i.e. the
         number of tracks a wire of the chosen wire type occupies).
+
+        ``np.add.at`` accumulates in index order, so repeated edges behave
+        exactly like the scalar reference loop
+        (:mod:`repro.grid.reference`).
         """
-        base = self.graph.edge_base_cost
-        for e in edge_indices:
-            self.usage[e] += base[e] if amount is None else amount
+        idx = _edge_index_array(edge_indices)
+        if idx.size == 0:
+            return
+        amounts = self.graph.edge_base_cost[idx] if amount is None else amount
+        np.add.at(self.usage, idx, amounts)
 
     def remove_usage(self, edge_indices: Iterable[int], amount: Optional[float] = None) -> None:
-        """Remove usage previously added with :meth:`add_usage`."""
-        base = self.graph.edge_base_cost
-        for e in edge_indices:
-            self.usage[e] -= base[e] if amount is None else amount
-            if self.usage[e] < -1e-9:
-                raise ValueError(f"usage of edge {e} became negative")
-            if self.usage[e] < 0.0:
-                self.usage[e] = 0.0
+        """Remove usage previously added with :meth:`add_usage`.
+
+        The whole delta is validated before any mutation: if removing it
+        would drive any edge's usage below zero (beyond float tolerance), a
+        ``ValueError`` is raised and the map is left *unchanged* -- a
+        rejected rip-up must not partially rip up the net.
+        """
+        idx = _edge_index_array(edge_indices)
+        if idx.size == 0:
+            return
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        if amount is None:
+            weights = self.graph.edge_base_cost[idx]
+        else:
+            weights = np.full(idx.shape, float(amount), dtype=np.float64)
+        totals = np.bincount(inverse, weights=weights, minlength=uniq.size)
+        remaining = self.usage[uniq] - totals
+        bad = np.flatnonzero(remaining < -1e-9)
+        if bad.size:
+            raise ValueError(f"usage of edge {int(uniq[bad[0]])} became negative")
+        self.usage[uniq] = np.maximum(remaining, 0.0)
 
     def apply_tree_delta(
         self,

@@ -58,7 +58,9 @@ def render_prometheus(snapshot: Dict[str, object]) -> str:
     """A metrics snapshot in the Prometheus text exposition format."""
     counters: Dict[str, object] = snapshot.get("counters", {})  # type: ignore[assignment]
     gauges: Dict[str, object] = snapshot.get("gauges", {})  # type: ignore[assignment]
-    histograms: Dict[str, Dict[str, object]] = snapshot.get("histograms", {})  # type: ignore[assignment]
+    histograms: Dict[str, Dict[str, object]] = snapshot.get(  # type: ignore[assignment]
+        "histograms", {}
+    )
     lines: List[str] = []
     for name in sorted(counters):
         metric = _metric_name(name) + "_total"

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import faults, obs
 from repro.core.bifurcation import BifurcationModel
+from repro.core.costctx import OracleCostContext
 from repro.core.instance import SteinerInstance
 from repro.core.objective import evaluate_tree
 from repro.core.oracle import SteinerOracle
@@ -381,7 +382,8 @@ class GlobalRouter:
         if edge_prices.shape != self.prices.edge_prices.shape:
             raise ValueError("checkpoint edge prices do not match this graph")
         delay_weights = [
-            [float(w) for w in weights] for weights in state["delay_weights"]  # type: ignore[union-attr]
+            [float(w) for w in weights]
+            for weights in state["delay_weights"]  # type: ignore[union-attr]
         ]
         if [len(w) for w in delay_weights] != [
             net.num_sinks for net in self.netlist.nets
@@ -432,7 +434,8 @@ class GlobalRouter:
             self.engine.cache.load_signatures(signatures)
         elif region_sections:
             flat: Dict[str, bytes] = {}
-            for section in (region_sections.get("scopes") or {}).values():  # type: ignore[union-attr]
+            scopes = region_sections.get("scopes") or {}
+            for section in scopes.values():  # type: ignore[union-attr]
                 flat.update(section)
             index_by_name = {net.name: i for i, net in enumerate(self.netlist.nets)}
             self.engine.cache.load_signatures(
@@ -475,6 +478,12 @@ class GlobalRouter:
         """Per-sink delays of every routed net (for the STA)."""
         delays: Dict[int, List[float]] = {}
         costs = self.graph.base_cost_array()
+        delay = self.graph.delay_array()
+        # One context for the whole sweep: every per-net instance shares the
+        # same static cost/delay vectors, so the O(edges) validation scans
+        # run once instead of once per net.
+        context = OracleCostContext(self.graph, costs, delay=delay)
+        costs = context.cost
         for net_index, tree in enumerate(self.trees):
             if tree is None:
                 delays[net_index] = [0.0] * self.netlist.nets[net_index].num_sinks
@@ -485,8 +494,9 @@ class GlobalRouter:
                 sinks=list(tree.sinks),
                 weights=self.prices.weights_of(net_index),
                 cost=costs,
-                delay=self.graph.delay_array(),
+                delay=delay,
                 bifurcation=self.bifurcation,
+                context=context,
             )
             breakdown = evaluate_tree(instance, tree)
             delays[net_index] = list(breakdown.sink_delays)

@@ -158,7 +158,9 @@ def encode_region_signatures(
         "layout": sections.get("layout") or {},
         "scopes": {
             scope_key: {name: sig.hex() for name, sig in by_name.items()}
-            for scope_key, by_name in (sections.get("scopes") or {}).items()  # type: ignore[union-attr]
+            for scope_key, by_name in (  # type: ignore[union-attr]
+                sections.get("scopes") or {}
+            ).items()
         },
     }
 
@@ -175,7 +177,9 @@ def decode_region_signatures(
             scope_key: {
                 str(name): bytes.fromhex(str(sig)) for name, sig in by_name.items()
             }
-            for scope_key, by_name in (record.get("scopes") or {}).items()  # type: ignore[union-attr]
+            for scope_key, by_name in (  # type: ignore[union-attr]
+                record.get("scopes") or {}
+            ).items()
         },
     }
 

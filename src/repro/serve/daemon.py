@@ -10,7 +10,8 @@ the connection open and streams JSON-lines events from the daemon's
 :class:`~repro.obs.bus.EventBus` (``round`` / ``region_done`` /
 ``seam_done`` / ``pool_degraded`` / ``job_state``) until the watched job
 reaches a terminal state.  Publishing never blocks -- a stalled watcher
-loses events to its bounded queue (``bus.dropped``), never stalls routing.  Each job is either a full route
+loses events to its bounded queue (``bus.dropped``), never stalls routing.
+Each job is either a full route
 (optionally opening a named persistent :class:`~repro.serve.session.RoutingSession`)
 or an ECO delta against an existing session.
 
@@ -94,10 +95,14 @@ def _router_config_from_params(
         shards=shards,
         shard_parity=bool(params.get("shard_parity", False)),
         shard_halo=int(params.get("shard_halo", 0)),  # type: ignore[arg-type]
-        shard_workers=None if shard_workers is None else int(shard_workers),  # type: ignore[arg-type]
+        shard_workers=(
+            None if shard_workers is None else int(shard_workers)  # type: ignore[arg-type]
+        ),
         shard_start_method=(
             _daemon_safe_start_method()
-            if shards > 1 and shard_workers is not None and int(shard_workers) > 1  # type: ignore[arg-type]
+            if shards > 1
+            and shard_workers is not None
+            and int(shard_workers) > 1  # type: ignore[arg-type]
             else None
         ),
     )
@@ -998,9 +1003,13 @@ class ServeDaemon:
             previous_config = session.config
             try:
                 session.configure_sharding(
-                    shards=None if shards is None else int(shards),  # type: ignore[arg-type]
+                    shards=(
+                        None if shards is None else int(shards)  # type: ignore[arg-type]
+                    ),
                     shard_workers=(
-                        None if shard_workers is None else int(shard_workers)  # type: ignore[arg-type]
+                        None
+                        if shard_workers is None
+                        else int(shard_workers)  # type: ignore[arg-type]
                     ),
                     shard_halo=(
                         None
@@ -1011,7 +1020,8 @@ class ServeDaemon:
                         # The daemon is multi-threaded; in-daemon region pools
                         # must not fork (see _daemon_safe_start_method).
                         _daemon_safe_start_method()
-                        if session.config.shards > 1 or (shards is not None and int(shards) > 1)  # type: ignore[arg-type]
+                        if session.config.shards > 1
+                        or (shards is not None and int(shards) > 1)  # type: ignore[arg-type]
                         else None
                     ),
                 )

@@ -1074,7 +1074,9 @@ class ShardCoordinator:
         wrong tree.
         """
         layout = sections.get("layout") or {}
-        scopes: Dict[str, Dict[str, bytes]] = sections.get("scopes") or {}  # type: ignore[assignment]
+        scopes: Dict[str, Dict[str, bytes]] = (  # type: ignore[assignment]
+            sections.get("scopes") or {}
+        )
         exact = (
             layout.get("shards") == self.partition.num_regions
             and layout.get("parity") == self.parity
@@ -1110,7 +1112,9 @@ class ShardCoordinator:
             "seed": self.seed,
             "overflow_penalty": self.congestion.overflow_penalty,
             "threshold": self.congestion.threshold,
-            "regions": {region.key: region.worker_spec() for region in self.regions},  # type: ignore[attr-defined]
+            "regions": {  # type: ignore[attr-defined]
+                region.key: region.worker_spec() for region in self.regions
+            },
         }
 
 

@@ -82,7 +82,8 @@ class RepeaterChainModel:
         """Optimal repeater spacing ``l*`` in tiles for ``(layer, wire_type)``."""
         r, c = layer.wire_rc(wire_type)
         b = self.buffer
-        return math.sqrt(2.0 * (b.intrinsic_delay / self.time_scale + b.drive_resistance * b.input_capacitance) / (r * c))
+        loading = b.intrinsic_delay / self.time_scale + b.drive_resistance * b.input_capacitance
+        return math.sqrt(2.0 * loading / (r * c))
 
     def segment_delay(self, layer: Layer, wire_type: WireType, length: float) -> float:
         """Elmore delay (ps) of one repeatered segment of ``length`` tiles."""
